@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper
+(or one ablation from DESIGN.md) and prints the paper-versus-measured
+comparison, so ``pytest benchmarks/ --benchmark-only -s`` reproduces
+the whole evaluation section.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    """One full paper-parameter campaign shared by the table/figure benches."""
+    from repro.experiments.runner import CampaignConfig, run_campaign
+
+    return run_campaign(CampaignConfig(measurement_seed=42, analysis_seed=7))
+
+
+@pytest.fixture(scope="session")
+def fleet():
+    """The eight manufactured devices (with process variation)."""
+    from repro.experiments.designs import build_device_fleet
+    from repro.power.variation import VariationModel
+
+    return build_device_fleet(variation_model=VariationModel(), seed=2014)
+
+
+@pytest.fixture(scope="session")
+def measured_trace_sets(fleet):
+    """Paper-sized trace sets: 400 per RefD, 10 000 per DUT."""
+    from repro.acquisition.bench import MeasurementBench
+
+    refds, duts = fleet
+    bench = MeasurementBench(seed=42)
+    t_refs = {name: bench.measure(dev, 400) for name, dev in refds.items()}
+    t_duts = {name: bench.measure(dev, 10_000) for name, dev in duts.items()}
+    return t_refs, t_duts
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(2014)

@@ -1,0 +1,85 @@
+"""E10 — distinguisher quality over repeated campaigns.
+
+Section V.A concludes that the variance of the correlation is the
+better distinguisher.  This experiment scores the paper's two
+distinguishers plus the library's extension distinguishers over
+repeated noisy campaigns (fresh measurement noise each repeat, same
+chips), reporting identification accuracy and worst-row confidence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.distinguishers import ALL_DISTINGUISHERS
+from repro.core.process import ProcessParameters
+from repro.experiments.runner import CampaignConfig, run_campaign
+
+PARAMS = ProcessParameters(k=40, m=16, n1=320, n2=6400)
+N_REPEATS = 4
+
+
+@pytest.fixture(scope="module")
+def repeated_outcomes():
+    outcomes = []
+    for repeat in range(N_REPEATS):
+        config = CampaignConfig(
+            parameters=PARAMS,
+            distinguishers=ALL_DISTINGUISHERS,
+            measurement_seed=42 + 1000 * repeat,
+            analysis_seed=7 + 1000 * repeat,
+        )
+        outcomes.append(run_campaign(config))
+    return outcomes
+
+
+def test_bench_full_distinguisher_campaign(benchmark):
+    config = CampaignConfig(
+        parameters=PARAMS,
+        distinguishers=ALL_DISTINGUISHERS,
+        measurement_seed=42,
+        analysis_seed=7,
+    )
+    outcome = benchmark.pedantic(run_campaign, args=(config,), iterations=1, rounds=1)
+    assert len(outcome.reports["IP_A"].verdicts) == len(ALL_DISTINGUISHERS)
+
+
+def test_distinguisher_scoreboard(benchmark, repeated_outcomes, capsys):
+    benchmark.pedantic(lambda: list(repeated_outcomes), rounds=1, iterations=1)
+    print(f"\n=== E10: distinguisher quality over {N_REPEATS} campaigns ===")
+    print(f"{'distinguisher':>16}  accuracy  min-confidence  mean-confidence")
+    accuracies = {}
+    for distinguisher in ALL_DISTINGUISHERS:
+        name = distinguisher.name
+        accs, confs = [], []
+        for outcome in repeated_outcomes:
+            accs.append(outcome.accuracy(name))
+            confs.extend(outcome.confidence_distances(name).values())
+        accuracy = float(np.mean(accs))
+        accuracies[name] = accuracy
+        print(
+            f"{name:>16}  {accuracy:8.2f}  {min(confs):13.1f}%  "
+            f"{np.mean(confs):14.1f}%"
+        )
+    # Paper's two distinguishers both identify perfectly at these
+    # parameters...
+    assert accuracies["higher-mean"] == 1.0
+    assert accuracies["lower-variance"] == 1.0
+
+
+def test_variance_confidence_dominates(benchmark, repeated_outcomes):
+    benchmark.pedantic(lambda: list(repeated_outcomes), rounds=1, iterations=1)
+    # ...but the variance distinguisher's confidence distance is far
+    # larger than the mean's on every row of every repeat.
+    for outcome in repeated_outcomes:
+        mean_confs = outcome.confidence_distances("higher-mean")
+        var_confs = outcome.confidence_distances("lower-variance")
+        for ref in mean_confs:
+            assert var_confs[ref] > mean_confs[ref]
+
+
+def test_extension_distinguishers_are_sane(benchmark, repeated_outcomes):
+    benchmark.pedantic(lambda: list(repeated_outcomes), rounds=1, iterations=1)
+    # The extensions must at least beat chance (0.25) clearly.
+    for distinguisher in ALL_DISTINGUISHERS:
+        accs = [o.accuracy(distinguisher.name) for o in repeated_outcomes]
+        assert np.mean(accs) >= 0.75

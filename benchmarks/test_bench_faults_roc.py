@@ -1,0 +1,110 @@
+"""E12/E13 (extensions) — bench-fault robustness and screening ROC.
+
+E12 injects realistic measurement faults (clipping, ADC dropout, gain
+drift, trigger jitter) into the DUT traces of a matching pair and
+reports the surviving correlation: the scheme absorbs amplitude faults
+(k-averaging + Pearson invariances) but requires aligned traces —
+exactly why the paper resets every FSM before measuring.
+
+E13 turns the counterfeit-screening decision into an ROC curve at this
+reproduction's operating point and sweeps the genuine/counterfeit
+correlation gap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.acquisition.bench import MeasurementBench
+from repro.acquisition.device import Device
+from repro.acquisition.alignment import align_traces
+from repro.acquisition.faults import (
+    clip_traces,
+    desynchronize,
+    drop_samples,
+    gain_drift,
+)
+from repro.analysis.roc import detection_gap_sweep, screening_roc
+from repro.core.process import CorrelationProcess, ProcessParameters
+from repro.experiments.designs import build_paper_ip
+from repro.power.models import PowerModel
+
+PARAMS = ProcessParameters(k=50, m=20, n1=400, n2=4000)
+
+
+@pytest.fixture(scope="module")
+def matching_sets():
+    refd = Device("R", build_paper_ip("IP_B"), PowerModel(), default_cycles=256)
+    dut = Device("D", build_paper_ip("IP_B"), PowerModel(), default_cycles=256)
+    bench = MeasurementBench(seed=4)
+    return bench.measure(refd, PARAMS.n1), bench.measure(dut, PARAMS.n2)
+
+
+def mean_rho(t_ref, t_dut):
+    process = CorrelationProcess(PARAMS, strict=False)
+    return process.run(t_ref, t_dut, np.random.default_rng(0)).mean
+
+
+def test_bench_fault_injection(benchmark, matching_sets, capsys):
+    t_ref, t_dut = matching_sets
+    baseline = mean_rho(t_ref, t_dut)
+    faults = {
+        "none (baseline)": lambda t: t,
+        "clipping @ 2.5 sigma": lambda t: clip_traces(t, 2.5),
+        "ADC dropout 5%": lambda t: drop_samples(t, 0.05, rng=5),
+        "gain drift 30%": lambda t: gain_drift(t, 0.3),
+        "trigger jitter ±4 samples": lambda t: desynchronize(t, 4, rng=6),
+        "trigger jitter ±100 samples": lambda t: desynchronize(t, 100, rng=7),
+        "jitter ±4 then realignment": lambda t: align_traces(
+            desynchronize(t, 4, rng=6), max_shift=8
+        )[0],
+    }
+    results = benchmark.pedantic(
+        lambda: {label: mean_rho(t_ref, fault(t_dut)) for label, fault in faults.items()},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== E12: bench-fault robustness (matching pair) ===")
+    for label, rho in results.items():
+        print(f"  {label:>28}: mean rho = {rho:+.3f}")
+    # Amplitude faults are absorbed; heavy desynchronisation is fatal;
+    # cross-correlation realignment rescues moderate jitter.
+    assert results["clipping @ 2.5 sigma"] > baseline - 0.1
+    assert results["ADC dropout 5%"] > baseline - 0.1
+    assert results["gain drift 30%"] > baseline - 0.05
+    assert results["trigger jitter ±100 samples"] < baseline - 0.3
+    assert (
+        results["jitter ±4 then realignment"]
+        > results["trigger jitter ±4 samples"] + 0.1
+    )
+
+
+def test_bench_screening_roc(benchmark, capsys):
+    curve = benchmark.pedantic(
+        screening_roc, kwargs={"rng": 0}, rounds=1, iterations=1
+    )
+    threshold, fpr, tpr = curve.operating_point(max_fpr=0.001)
+    print("\n=== E13: counterfeit-screening ROC (model-based) ===")
+    print(f"operating point (genuine 0.98 vs counterfeit 0.93, m=20, l=1024):")
+    print(f"  AUC = {curve.auc:.4f}")
+    print(f"  at FPR <= 0.1%: threshold = {threshold:.4f}, TPR = {tpr:.3f}")
+    assert curve.auc > 0.999
+    assert tpr > 0.99
+
+
+def test_bench_detection_gap_sweep(benchmark, capsys):
+    # The mean-score std at this operating point is ~3e-4, so the
+    # transition from chance to certainty happens over sub-milli gaps.
+    gaps = [0.0001, 0.0003, 0.001, 0.003, 0.01]
+    sweep = benchmark.pedantic(
+        detection_gap_sweep,
+        args=(gaps,),
+        kwargs={"n_samples": 1000, "rng": 2},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== E13': AUC vs genuine/counterfeit correlation gap ===")
+    for gap, auc in sweep:
+        print(f"  gap = {gap:.4f}: AUC = {auc:.4f}")
+    aucs = [auc for _gap, auc in sweep]
+    assert all(b >= a - 0.01 for a, b in zip(aucs, aucs[1:]))
+    assert aucs[-1] > 0.999

@@ -1,0 +1,59 @@
+"""E2 / Fig. 4 — the sixteen correlation-coefficient sets.
+
+Regenerates the four panels (each RefD against all four DUTs, m = 20
+coefficients per pair, k = 50) and benchmarks the correlation
+computation process itself on paper-sized trace sets.
+"""
+
+import numpy as np
+
+from repro.core.process import CorrelationProcess, ProcessParameters
+from repro.experiments.designs import EXPECTED_MATCHES
+from repro.experiments.figure4 import (
+    figure4_panels,
+    figure4_shape_holds,
+    render_figure4,
+)
+from repro.experiments.runner import REF_ORDER
+
+
+def test_bench_correlation_process(benchmark, measured_trace_sets):
+    t_refs, t_duts = measured_trace_sets
+    process = CorrelationProcess(ProcessParameters())
+
+    def run_one_pair():
+        return process.run(
+            t_refs["IP_A"], t_duts["DUT#1"], np.random.default_rng(0)
+        )
+
+    result = benchmark(run_one_pair)
+    assert len(result) == 20
+
+
+def test_figure4_panels_and_shape(benchmark, campaign, capsys):
+    panels = benchmark.pedantic(
+        figure4_panels, kwargs={"outcome": campaign}, rounds=1, iterations=1
+    )
+    print("\n=== Fig. 4 (ASCII reproduction) ===")
+    print(render_figure4(panels))
+    # The paper's reading: the matching DUT's cluster is the highest
+    # and the tightest on every panel.
+    assert figure4_shape_holds(panels)
+
+
+def test_figure4_cluster_statistics(benchmark, campaign, capsys):
+    benchmark.pedantic(campaign.correlation_sets, args=("IP_A",), rounds=1, iterations=1)
+    print("\n=== Fig. 4 cluster statistics (mean / spread per DUT) ===")
+    for ref in REF_ORDER:
+        panel_sets = campaign.correlation_sets(ref)
+        match = EXPECTED_MATCHES[ref]
+        parts = []
+        for dut, c in panel_sets.items():
+            marker = "*" if dut == match else " "
+            parts.append(f"{dut}{marker} {np.mean(c):+.3f}/{np.std(c):.4f}")
+        print(f"{ref}: " + "  ".join(parts))
+        # Match cluster: highest centre, smallest spread.
+        means = {dut: float(np.mean(c)) for dut, c in panel_sets.items()}
+        spreads = {dut: float(np.std(c)) for dut, c in panel_sets.items()}
+        assert max(means, key=lambda d: means[d]) == match
+        assert min(spreads, key=lambda d: spreads[d]) == match

@@ -1,0 +1,85 @@
+"""E5 / Fig. 5 — the trace-reuse probability curve f_alpha(m).
+
+Regenerates the closed-form curve, its limit and the 5 %-band read,
+cross-validates P(zeta) by Monte-Carlo simulation of the actual
+selection machinery, and exercises properties P1 and P2.
+"""
+
+import pytest
+
+from repro.analysis.montecarlo import (
+    estimate_reuse_probability,
+    property_p1_numeric,
+    property_p2_numeric,
+)
+from repro.experiments.figure5 import (
+    PAPER_M,
+    PAPER_MIN_M_AT_5PCT,
+    PAPER_P_ZETA_AT_M20,
+    figure5_data,
+    figure5_shape_holds,
+    render_figure5,
+)
+
+
+def test_bench_figure5_closed_form(benchmark):
+    data = benchmark(figure5_data)
+    assert figure5_shape_holds(data)
+
+
+def test_figure5_reproduction(benchmark, capsys):
+    data = benchmark.pedantic(figure5_data, rounds=1, iterations=1)
+    print("\n=== Fig. 5 (ASCII reproduction, alpha = 10) ===")
+    print(render_figure5(data))
+    print(
+        f"\nP(zeta) at m={PAPER_M}: paper={PAPER_P_ZETA_AT_M20}  "
+        f"measured={data.p_zeta_at_paper_m:.6f}"
+    )
+    print(
+        f"minimal m within 5% of the limit: paper~{PAPER_MIN_M_AT_5PCT} "
+        f"(graphical read)  measured={data.min_m_within_5pct} (exact)"
+    )
+    assert data.p_zeta_at_paper_m == pytest.approx(PAPER_P_ZETA_AT_M20, abs=2e-4)
+    assert abs(data.min_m_within_5pct - PAPER_MIN_M_AT_5PCT) <= 3
+
+
+def test_bench_monte_carlo_validation(benchmark, capsys):
+    # alpha = 2 keeps P(zeta) large enough for a fast, tight estimate;
+    # the closed form is the same formula being validated.
+    estimate = benchmark.pedantic(
+        estimate_reuse_probability,
+        kwargs={"alpha": 2.0, "k": 10, "m": 10, "trials": 400, "rng": 0},
+        iterations=1,
+        rounds=3,
+    )
+    print(
+        f"\nMonte-Carlo P(zeta) @ alpha=2, m=10: closed-form="
+        f"{estimate.closed_form:.5f}  estimate={estimate.estimate:.5f} "
+        f"(z={estimate.z_score:+.2f})"
+    )
+    assert abs(estimate.z_score) < 4.0
+
+
+def test_properties_p1_p2(benchmark, capsys):
+    benchmark.pedantic(property_p1_numeric, kwargs={"m": 20}, rounds=1, iterations=1)
+    print("\nP1 (alpha -> inf): f_alpha(m) -> 0:", property_p1_numeric(m=20))
+    print("P2 (m -> inf): f_alpha(m) -> limit:", property_p2_numeric(alpha=10.0))
+    assert property_p1_numeric(m=20)
+    assert property_p2_numeric(alpha=10.0)
+
+
+def test_paper_monte_carlo_operating_point(benchmark, capsys):
+    # The paper's exact (alpha, k, m) = (10, 50, 20), lighter trials.
+    estimate = benchmark.pedantic(
+        estimate_reuse_probability,
+        kwargs={"alpha": 10.0, "k": 50, "m": 20, "trials": 1500, "rng": 1},
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\nMonte-Carlo P(zeta) @ paper point: closed-form="
+        f"{estimate.closed_form:.5f}  estimate={estimate.estimate:.5f} "
+        f"(z={estimate.z_score:+.2f}, n2={estimate.n2})"
+    )
+    assert estimate.n2 == 10_000
+    assert abs(estimate.z_score) < 4.0

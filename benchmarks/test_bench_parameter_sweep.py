@@ -1,0 +1,82 @@
+"""E7 — k and m do not significantly affect the confidence distance.
+
+Paper Section V.B: "values for k and m have not had a significant
+impact on the effectiveness of the proposed verification process which
+is characterized by the confidence distance".  This sweep varies k and
+m (resizing n1/n2 accordingly) and reports the variance-distinguisher
+confidence distance.
+"""
+
+import pytest
+
+from repro.core.process import ProcessParameters
+from repro.experiments.runner import CampaignConfig, run_campaign
+
+#: Sweep points: (k, m) with alpha = 10 throughout.
+K_SWEEP = (25, 50, 100)
+M_SWEEP = (16, 20, 32)
+
+
+def campaign_for(k, m, seed=42):
+    parameters = ProcessParameters(k=k, m=m, n1=8 * k, n2=10 * k * m)
+    config = CampaignConfig(
+        parameters=parameters, measurement_seed=seed, analysis_seed=seed + 1
+    )
+    return run_campaign(config)
+
+
+@pytest.fixture(scope="module")
+def k_outcomes():
+    return {k: campaign_for(k, 20) for k in K_SWEEP}
+
+
+@pytest.fixture(scope="module")
+def m_outcomes():
+    return {m: campaign_for(50, m) for m in M_SWEEP}
+
+
+def test_bench_campaign_k25(benchmark):
+    outcome = benchmark.pedantic(
+        campaign_for, args=(25, 20), iterations=1, rounds=1
+    )
+    assert outcome.accuracy("lower-variance") == 1.0
+
+
+def test_k_sweep(benchmark, k_outcomes, capsys):
+    benchmark.pedantic(lambda: list(k_outcomes), rounds=1, iterations=1)
+    print("\n=== E7: k sweep (m = 20, alpha = 10) ===")
+    for k, outcome in k_outcomes.items():
+        deltas = outcome.confidence_distances("lower-variance")
+        print(
+            f"k={k:>4}: var-acc={outcome.accuracy('lower-variance'):.2f} "
+            f"Delta_v per row: "
+            + "  ".join(f"{ref}={d:5.1f}%" for ref, d in deltas.items())
+        )
+        # Identification works at every k.
+        assert outcome.accuracy("lower-variance") == 1.0
+        assert outcome.accuracy("higher-mean") == 1.0
+
+
+def test_m_sweep(benchmark, m_outcomes, capsys):
+    benchmark.pedantic(lambda: list(m_outcomes), rounds=1, iterations=1)
+    print("\n=== E7: m sweep (k = 50, alpha = 10) ===")
+    for m, outcome in m_outcomes.items():
+        deltas = outcome.confidence_distances("lower-variance")
+        print(
+            f"m={m:>4}: var-acc={outcome.accuracy('lower-variance'):.2f} "
+            f"Delta_v per row: "
+            + "  ".join(f"{ref}={d:5.1f}%" for ref, d in deltas.items())
+        )
+        assert outcome.accuracy("lower-variance") == 1.0
+
+
+def test_mean_confidence_insensitive_to_k(benchmark, k_outcomes):
+    benchmark.pedantic(lambda: list(k_outcomes), rounds=1, iterations=1)
+    # Delta_mean depends on the deterministic waveform overlap, not on
+    # averaging depth: it must stay flat across the k sweep.
+    deltas = {
+        k: min(outcome.confidence_distances("higher-mean").values())
+        for k, outcome in k_outcomes.items()
+    }
+    values = list(deltas.values())
+    assert max(values) - min(values) < 5.0

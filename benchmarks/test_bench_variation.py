@@ -1,0 +1,78 @@
+"""E6 — process-variation insensitivity (paper Section IV.A claim).
+
+The paper: "the use of different FPGAs shows that the proposed work is
+insensitive to the CMOS variation process" and "similar results are
+obtained by using only one FPGA".  This ablation runs the campaign
+with variation disabled (one-FPGA equivalent), at the default
+magnitude, and at an exaggerated magnitude, comparing identification
+accuracy and confidence distances.
+"""
+
+import pytest
+
+from repro.core.process import ProcessParameters
+from repro.experiments.runner import CampaignConfig, run_campaign
+from repro.power.variation import VariationModel
+
+PARAMS = ProcessParameters(k=40, m=16, n1=320, n2=6400)
+
+
+def run_with_variation(variation, seed=42):
+    config = CampaignConfig(
+        parameters=PARAMS,
+        variation=variation,
+        measurement_seed=seed,
+        analysis_seed=seed + 1,
+    )
+    return run_campaign(config)
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return {
+        "none (single FPGA)": run_with_variation(None),
+        "default CMOS variation": run_with_variation(VariationModel()),
+        "3x CMOS variation": run_with_variation(
+            VariationModel(gain_sigma=0.24, offset_sigma=0.9, component_sigma=0.075)
+        ),
+    }
+
+
+def test_bench_campaign_with_variation(benchmark):
+    outcome = benchmark.pedantic(
+        run_with_variation,
+        args=(VariationModel(),),
+        iterations=1,
+        rounds=1,
+    )
+    assert outcome.all_correct
+
+
+def test_variation_insensitivity(benchmark, outcomes, capsys):
+    benchmark.pedantic(lambda: list(outcomes), rounds=1, iterations=1)
+    print("\n=== E6: process-variation ablation ===")
+    for label, outcome in outcomes.items():
+        mean_acc = outcome.accuracy("higher-mean")
+        var_acc = outcome.accuracy("lower-variance")
+        var_conf = outcome.confidence_distances("lower-variance")
+        print(
+            f"{label:>24}: mean-acc={mean_acc:.2f} var-acc={var_acc:.2f} "
+            f"min Delta_v={min(var_conf.values()):.1f}%"
+        )
+    # The verification works identically with and without variation.
+    assert outcomes["none (single FPGA)"].all_correct
+    assert outcomes["default CMOS variation"].all_correct
+    # Even exaggerated variation keeps the variance distinguisher right.
+    assert outcomes["3x CMOS variation"].accuracy("lower-variance") == 1.0
+
+
+def test_gain_offset_do_not_move_correlation(benchmark, outcomes):
+    benchmark.pedantic(lambda: list(outcomes), rounds=1, iterations=1)
+    # Pearson's gain/offset invariance means the matching mean is the
+    # same with and without die-to-die gain spread (to a few percent).
+    none = outcomes["none (single FPGA)"]
+    default = outcomes["default CMOS variation"]
+    for ref in ("IP_A", "IP_B", "IP_C", "IP_D"):
+        match = {"IP_A": "DUT#1", "IP_B": "DUT#2", "IP_C": "DUT#3", "IP_D": "DUT#4"}[ref]
+        delta = abs(none.means[ref][match] - default.means[ref][match])
+        assert delta < 0.05

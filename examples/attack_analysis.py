@@ -1,0 +1,110 @@
+"""Adversarial analysis: what can an attacker do about the watermark?
+
+Three attacks against the paper's scheme, run end to end:
+
+1. **strip** the leakage component after full netlist reverse
+   engineering — functionality preserved, but the clone falls out of
+   the matching cluster and screening flags it;
+2. **mask** the signature under injected noise — the defender answers
+   by raising k (averaging wins back sqrt(k));
+3. **recover the key** with a 256-template CPA — succeeds, which is
+   exactly why the scheme's value is legal proof of ownership rather
+   than key secrecy.
+
+Run with::
+
+    python examples/attack_analysis.py
+"""
+
+from repro import (
+    Device,
+    MeasurementBench,
+    PowerModel,
+    ProcessParameters,
+    WatermarkVerifier,
+    build_paper_ip,
+)
+from repro.acquisition.bench import acquire_traces
+from repro.attacks import (
+    defender_k_escalation,
+    masking_sweep,
+    strip_watermark,
+    template_key_search,
+)
+from repro.experiments.designs import KW1
+
+
+def attack_1_strip() -> None:
+    print("=== Attack 1: strip the leakage component ===")
+    refd = Device("RefD", build_paper_ip("IP_B"), PowerModel(), default_cycles=256)
+    genuine = Device("genuine", build_paper_ip("IP_B"), PowerModel(), default_cycles=256)
+
+    stripped_ip = build_paper_ip("IP_B")
+    report = strip_watermark(stripped_ip)
+    print(f"adversary removed: {', '.join(report.removed_components)}")
+    stripped = Device("stripped", stripped_ip, PowerModel(), default_cycles=256)
+
+    params = ProcessParameters(k=50, m=20, n1=400, n2=10_000)
+    bench = MeasurementBench(seed=8)
+    t_ref = bench.measure(refd, params.n1)
+    t_golden = bench.measure(genuine, params.n2)
+    verifier = WatermarkVerifier(params)
+    floor = verifier.calibrate_mean_floor(t_ref, t_golden, rng=1)
+    screenings = verifier.screen(
+        t_ref,
+        {"stripped-clone": bench.measure(stripped, params.n2)},
+        rng=2,
+        mean_floor=floor,
+    )
+    s = screenings[0]
+    print(
+        f"stripped clone: mean rho = {s.mean:.3f} vs floor {floor:.3f} "
+        f"-> {'CAUGHT' if not s.authentic else 'missed'}\n"
+    )
+
+
+def attack_2_mask() -> None:
+    print("=== Attack 2: mask the signature under injected noise ===")
+    points = masking_sweep([1.0, 4.0, 8.0], seed=5)
+    for point in points:
+        print(
+            f"  attacker noise sigma={point.noise_sigma:4.1f}: "
+            f"mean-acc {point.mean_accuracy:.2f}, "
+            f"variance-acc {point.variance_accuracy:.2f}, "
+            f"matching rho {point.matching_mean:.3f}"
+        )
+    print("defender raises k under sigma = 2.0 (variance distinguisher"
+          " recovers once k >> sigma^2):")
+    for k, point in defender_k_escalation(2.0, (10, 40, 160)).items():
+        print(
+            f"  k={k:>4}: mean-acc {point.mean_accuracy:.2f}, "
+            f"variance-acc {point.variance_accuracy:.2f}"
+        )
+    print()
+
+
+def attack_3_key_search() -> None:
+    print("=== Attack 3: template search for the 8-bit key ===")
+    device = Device("DUT", build_paper_ip("IP_A"), PowerModel(), default_cycles=256)
+    traces = acquire_traces(device, 300, rng=1)
+    result = template_key_search(
+        traces, list(range(256)), KW1, samples_per_cycle=4, n_average=300
+    )
+    print(
+        f"true key 0x{result.true_key:02X}: recovered = {result.succeeded}, "
+        f"rank {result.rank_of_true_key()}, margin {result.margin:.3f}"
+    )
+    print(
+        "-> Kw resists accidental collision, not deliberate physical "
+        "search; ownership proof comes from the court scenario."
+    )
+
+
+def main() -> None:
+    attack_1_strip()
+    attack_2_mask()
+    attack_3_key_search()
+
+
+if __name__ == "__main__":
+    main()

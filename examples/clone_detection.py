@@ -1,0 +1,51 @@
+"""Clone detection: find which product embeds your IP without paying.
+
+Scenario (paper Section I): an IP designer suspects that one of four
+competitor products contains an unlicensed copy ("clone") of their
+watermarked FSM IP.  They have one trusted reference device and can
+only measure the competitors' power pins — no access to internal state
+or I/O protocols.
+
+This reruns the paper's full Section IV experiment: four reference IPs
+against four DUTs, printing Table I / Table II-style statistics and
+the verdicts of both distinguishers.
+
+Run with::
+
+    python examples/clone_detection.py
+"""
+
+from repro.core.report import render_verdicts
+from repro.experiments.runner import CampaignConfig, run_campaign
+from repro.experiments.tables import render_table1, render_table2
+from repro.experiments.designs import EXPECTED_MATCHES
+
+
+def main() -> None:
+    print("Running the paper's 4x4 campaign (this takes a few seconds)...")
+    outcome = run_campaign(CampaignConfig(measurement_seed=42, analysis_seed=7))
+
+    print("\nMeans of the correlation sets (Table I layout):")
+    print(render_table1(outcome))
+    print("\nVariances of the correlation sets (Table II layout):")
+    print(render_table2(outcome))
+
+    print("\nVerdicts:")
+    for ref in outcome.ref_order:
+        print(render_verdicts(outcome.reports[ref]))
+        expected = EXPECTED_MATCHES[ref]
+        print(f"  ground truth: {expected}")
+        print()
+
+    accuracy_mean = outcome.accuracy("higher-mean")
+    accuracy_var = outcome.accuracy("lower-variance")
+    print(f"higher-mean identification accuracy:    {accuracy_mean:.0%}")
+    print(f"lower-variance identification accuracy: {accuracy_var:.0%}")
+    print(
+        "\nThe variance confidence distances dominate the mean ones — "
+        "the paper's Section V.A finding."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Parameter planning: derive (n1, n2, k, m) the paper's way.
+
+Section V.B's recipe:
+
+1. choose the acceptable probability P(zeta) that a DUT trace is
+   reused across the m random k-selections — this fixes alpha;
+2. pick the smallest m whose f_alpha(m) is close enough to its limit;
+3. pick k freely (it only costs acquisition time; it never changes
+   P(zeta));
+4. set n2 = alpha * k * m and n1 >= k.
+
+This example reproduces Fig. 5, cross-checks the closed form by
+Monte-Carlo simulation of the actual selection code, and prints plans
+for a few operating points.
+
+Run with::
+
+    python examples/parameter_planning.py
+"""
+
+from repro.analysis.montecarlo import estimate_reuse_probability
+from repro.core.parameters import (
+    alpha_for_target_probability,
+    plan_parameters,
+    reuse_probability,
+    reuse_probability_limit,
+)
+from repro.experiments.figure5 import figure5_data, render_figure5
+
+
+def main() -> None:
+    # Fig. 5 for the paper's alpha = 10.
+    data = figure5_data(alpha=10.0)
+    print(render_figure5(data))
+    print(f"\nP(zeta) at the paper's m = 20: {reuse_probability(10.0, 20):.6f}")
+    print(f"(the paper reports 0.0045)")
+
+    # Cross-check the closed form against the real selection machinery.
+    estimate = estimate_reuse_probability(alpha=10.0, k=50, m=20, trials=2000, rng=0)
+    print(
+        f"Monte-Carlo on U_X(k) batches: {estimate.estimate:.5f} "
+        f"(closed form {estimate.closed_form:.5f}, z = {estimate.z_score:+.2f})"
+    )
+
+    # Plan a few operating points.
+    print("\nDerived plans (alpha chosen from a target P(zeta)):")
+    print(f"{'target P':>10} {'alpha':>7} {'m':>4} {'k':>5} {'n1':>6} {'n2':>8}")
+    for target in (0.01, 0.005, 0.001):
+        alpha = alpha_for_target_probability(target)
+        plan = plan_parameters(k=50, alpha=alpha)
+        p = plan.parameters
+        print(
+            f"{target:>10} {alpha:>7.2f} {p.m:>4} {p.k:>5} {p.n1:>6} {p.n2:>8}"
+        )
+
+    # And the paper's own plan.
+    paper = plan_parameters(k=50, alpha=10.0, m=20)
+    print(
+        f"\npaper plan: alpha=10, m=20, k=50 -> n2 = {paper.parameters.n2} "
+        f"traces, P(zeta) = {paper.p_zeta:.4f} "
+        f"(limit {reuse_probability_limit(10.0):.4f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Acquisition layer: devices, oscilloscope, measurement campaigns."""
+
+from repro.acquisition.alignment import align_traces, alignment_quality, estimate_shift
+from repro.acquisition.bench import MeasurementBench, acquire_traces, make_rng
+from repro.acquisition.io import (
+    load_campaign,
+    load_trace_set,
+    save_campaign,
+    save_trace_set,
+)
+from repro.acquisition.device import Device
+from repro.acquisition.faults import (
+    clip_traces,
+    desynchronize,
+    drop_samples,
+    gain_drift,
+    inject_spikes,
+)
+from repro.acquisition.oscilloscope import ADCConfig, Oscilloscope
+from repro.acquisition.traces import TraceSet
+
+__all__ = [
+    "Device",
+    "TraceSet",
+    "Oscilloscope",
+    "ADCConfig",
+    "MeasurementBench",
+    "acquire_traces",
+    "make_rng",
+    "save_trace_set",
+    "load_trace_set",
+    "save_campaign",
+    "load_campaign",
+    "clip_traces",
+    "drop_samples",
+    "desynchronize",
+    "inject_spikes",
+    "gain_drift",
+    "align_traces",
+    "alignment_quality",
+    "estimate_shift",
+]

@@ -1,0 +1,86 @@
+"""Measurement campaigns: the paper's ``Pw(device, n)`` step.
+
+:func:`acquire_traces` is the library-level entry point for power
+acquisition; :class:`MeasurementBench` bundles an oscilloscope and an
+RNG so a whole experiment shares one reproducible measurement chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Union
+
+import numpy as np
+
+from repro.acquisition.device import Device
+from repro.acquisition.oscilloscope import Oscilloscope
+from repro.acquisition.traces import TraceSet
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: RngLike) -> np.random.Generator:
+    """Normalise a seed / generator / None into a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def acquire_traces(
+    device: Device,
+    n_traces: int,
+    oscilloscope: Optional[Oscilloscope] = None,
+    rng: RngLike = None,
+    n_cycles: Optional[int] = None,
+) -> TraceSet:
+    """The paper's ``T_device = Pw(device, n)``."""
+    scope = oscilloscope if oscilloscope is not None else Oscilloscope()
+    return scope.acquire(device, n_traces, make_rng(rng), n_cycles)
+
+
+class MeasurementBench:
+    """One measurement setup shared across a whole experiment.
+
+    Holds the oscilloscope and a seeded RNG so campaigns are exactly
+    reproducible, and caches acquired trace sets per device.
+    """
+
+    def __init__(
+        self,
+        oscilloscope: Optional[Oscilloscope] = None,
+        seed: RngLike = None,
+    ):
+        self.oscilloscope = oscilloscope if oscilloscope is not None else Oscilloscope()
+        self.rng = make_rng(seed)
+        self._cache: Dict[str, TraceSet] = {}
+
+    def measure(
+        self,
+        device: Device,
+        n_traces: int,
+        n_cycles: Optional[int] = None,
+        cache: bool = True,
+    ) -> TraceSet:
+        """Acquire (or reuse) ``n_traces`` traces for ``device``."""
+        key = f"{device.name}:{n_cycles}"
+        if cache and key in self._cache and self._cache[key].n_traces >= n_traces:
+            cached = self._cache[key]
+            return TraceSet(cached.device_name, cached.matrix[:n_traces].copy())
+        traces = self.oscilloscope.acquire(device, n_traces, self.rng, n_cycles)
+        if cache:
+            self._cache[key] = traces
+        return traces
+
+    def measure_all(
+        self,
+        devices: Iterable[Device],
+        n_traces: int,
+        n_cycles: Optional[int] = None,
+    ) -> Dict[str, TraceSet]:
+        """Acquire the same number of traces on several devices."""
+        return {
+            device.name: self.measure(device, n_traces, n_cycles)
+            for device in devices
+        }
+
+    def clear_cache(self) -> None:
+        self._cache.clear()

@@ -1,0 +1,82 @@
+"""Physical device instances.
+
+A :class:`Device` is one chip: a watermarked IP netlist plus that die's
+process-variation draw and the nominal power model.  Because the
+paper's designs are input-independent and start from reset, a device's
+noise-free power waveform is deterministic; it is simulated once and
+cached, and each "measurement" adds fresh noise in the oscilloscope.
+This mirrors physics (the die does the same thing every run) and makes
+10 000-trace campaigns cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.fsm.watermark import WatermarkedIP
+from repro.hdl.activity import ActivityTrace
+from repro.hdl.simulator import Simulator
+from repro.power.models import PowerModel
+from repro.power.supply import WaveformConfig, render_waveform
+from repro.power.variation import DeviceVariation
+
+
+class Device:
+    """One manufactured instance of a watermarked IP."""
+
+    def __init__(
+        self,
+        name: str,
+        ip: WatermarkedIP,
+        power_model: PowerModel,
+        variation: Optional[DeviceVariation] = None,
+        waveform: Optional[WaveformConfig] = None,
+        default_cycles: int = 256,
+    ):
+        if default_cycles <= 0:
+            raise ValueError("default_cycles must be positive")
+        self.name = name
+        self.ip = ip
+        self.nominal_model = power_model
+        self.variation = variation if variation is not None else DeviceVariation.nominal()
+        self.waveform = waveform if waveform is not None else WaveformConfig()
+        self.default_cycles = default_cycles
+        self._activity_cache: Dict[int, ActivityTrace] = {}
+        self._waveform_cache: Dict[int, np.ndarray] = {}
+
+    @property
+    def effective_model(self) -> PowerModel:
+        """The nominal power model perturbed by this die's variation."""
+        if not self.variation.component_scales:
+            return self.nominal_model
+        return self.nominal_model.with_component_scales(
+            self.variation.component_scales
+        )
+
+    def activity(self, n_cycles: Optional[int] = None) -> ActivityTrace:
+        """Cycle-accurate switching activity over ``n_cycles`` (cached)."""
+        cycles = self.default_cycles if n_cycles is None else n_cycles
+        if cycles not in self._activity_cache:
+            simulator = Simulator(self.ip.netlist)
+            self._activity_cache[cycles] = simulator.run(cycles)
+        return self._activity_cache[cycles]
+
+    def deterministic_waveform(self, n_cycles: Optional[int] = None) -> np.ndarray:
+        """The noise-free sampled power waveform of this die (cached)."""
+        cycles = self.default_cycles if n_cycles is None else n_cycles
+        if cycles not in self._waveform_cache:
+            cycle_power = self.effective_model.cycle_power(self.activity(cycles))
+            samples = render_waveform(cycle_power, self.waveform)
+            samples = self.variation.gain * samples + self.variation.offset
+            self._waveform_cache[cycles] = samples
+        return self._waveform_cache[cycles]
+
+    def trace_length(self, n_cycles: Optional[int] = None) -> int:
+        """Number of samples per trace for a given measurement length."""
+        cycles = self.default_cycles if n_cycles is None else n_cycles
+        return cycles * self.waveform.samples_per_cycle
+
+    def __repr__(self) -> str:
+        return f"Device({self.name!r}, ip={self.ip.name!r})"

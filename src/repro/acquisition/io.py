@@ -1,0 +1,72 @@
+"""Trace-set persistence.
+
+Real side-channel campaigns separate acquisition from analysis: the
+bench writes traces to disk, the analyst loads them later.  TraceSets
+round-trip through NumPy ``.npz`` archives with their device name and
+a format version, so campaigns are archivable and shareable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.acquisition.traces import TraceSet
+
+#: Format version written into every archive.
+FORMAT_VERSION = 1
+
+
+def save_trace_set(traces: TraceSet, path: str) -> None:
+    """Write one trace set to an ``.npz`` archive."""
+    np.savez_compressed(
+        path,
+        matrix=traces.matrix,
+        device_name=np.array(traces.device_name),
+        format_version=np.array(FORMAT_VERSION),
+    )
+
+
+def load_trace_set(path: str) -> TraceSet:
+    """Load a trace set written by :func:`save_trace_set`."""
+    with np.load(path, allow_pickle=False) as archive:
+        if "matrix" not in archive or "device_name" not in archive:
+            raise ValueError(f"{path} is not a trace-set archive")
+        version = int(archive["format_version"]) if "format_version" in archive else 0
+        if version > FORMAT_VERSION:
+            raise ValueError(
+                f"{path} was written by a newer format (version {version})"
+            )
+        return TraceSet(str(archive["device_name"]), archive["matrix"])
+
+
+def save_campaign(trace_sets: Dict[str, TraceSet], directory: str) -> Dict[str, str]:
+    """Write several trace sets into a directory; returns name -> path."""
+    os.makedirs(directory, exist_ok=True)
+    paths: Dict[str, str] = {}
+    for name, traces in trace_sets.items():
+        safe = name.replace("#", "_").replace("/", "_")
+        path = os.path.join(directory, f"{safe}.npz")
+        save_trace_set(traces, path)
+        paths[name] = path
+    return paths
+
+
+def load_campaign(directory: str, names: Iterable[str] = None) -> Dict[str, TraceSet]:
+    """Load every ``.npz`` trace set in a directory, keyed by device name."""
+    if not os.path.isdir(directory):
+        raise FileNotFoundError(f"no such campaign directory: {directory}")
+    loaded: Dict[str, TraceSet] = {}
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(".npz"):
+            continue
+        traces = load_trace_set(os.path.join(directory, entry))
+        loaded[traces.device_name] = traces
+    if names is not None:
+        missing = set(names) - set(loaded)
+        if missing:
+            raise KeyError(f"campaign is missing devices: {sorted(missing)}")
+        return {name: loaded[name] for name in names}
+    return loaded

@@ -1,0 +1,84 @@
+"""The synthetic oscilloscope.
+
+Adds what the measurement chain adds on a real bench: wideband noise
+(see :mod:`repro.power.noise`) and ADC quantisation at a configurable
+vertical resolution.  Acquisition is triggered at reset, so every trace
+is aligned — the paper guarantees this by placing all FSMs "in the
+exact same state before starting any power consumption measurements".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.acquisition.device import Device
+from repro.acquisition.traces import TraceSet
+from repro.power.noise import NoiseModel
+
+
+@dataclass(frozen=True)
+class ADCConfig:
+    """Vertical quantisation of the oscilloscope front-end."""
+
+    bits: int = 10
+    headroom: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 24:
+            raise ValueError(f"ADC bits must be in [1, 24], got {self.bits}")
+        if self.headroom < 0:
+            raise ValueError("ADC headroom must be non-negative")
+
+
+class Oscilloscope:
+    """Noise + quantisation applied on top of a device's waveform."""
+
+    def __init__(
+        self,
+        noise: Optional[NoiseModel] = None,
+        adc: Optional[ADCConfig] = None,
+    ):
+        self.noise = noise if noise is not None else NoiseModel()
+        self.adc = adc
+
+    def _quantize(self, traces: np.ndarray, signal_std: float) -> np.ndarray:
+        """Round traces onto the ADC grid covering signal ± headroom."""
+        if self.adc is None:
+            return traces
+        center = float(np.mean(traces))
+        spread = (self.noise.sigma + self.adc.headroom) * signal_std
+        if spread == 0:
+            return traces
+        low = center - spread
+        high = center + spread
+        levels = (1 << self.adc.bits) - 1
+        step = (high - low) / levels
+        clipped = np.clip(traces, low, high)
+        return low + np.round((clipped - low) / step) * step
+
+    def acquire(
+        self,
+        device: Device,
+        n_traces: int,
+        rng: np.random.Generator,
+        n_cycles: Optional[int] = None,
+    ) -> TraceSet:
+        """Measure ``n_traces`` aligned traces on ``device``.
+
+        This is the paper's acquisition function ``Pw(device, n)``.
+        """
+        if n_traces <= 0:
+            raise ValueError(f"n_traces must be positive, got {n_traces}")
+        base = device.deterministic_waveform(n_cycles)
+        signal_std = float(np.std(base))
+        if signal_std == 0:
+            # A constant waveform still gets absolute-unit noise so the
+            # correlation machinery downstream sees finite variance.
+            signal_std = 1.0
+        noise = self.noise.sample(n_traces, base.size, signal_std, rng)
+        traces = base[np.newaxis, :] + noise
+        traces = self._quantize(traces, signal_std)
+        return TraceSet(device.name, traces)

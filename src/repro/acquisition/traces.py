@@ -1,0 +1,71 @@
+"""Trace containers.
+
+A :class:`TraceSet` is the paper's ``T_device``: a set of ``n`` power
+traces of equal length measured on one device.  It is stored as an
+``(n, l)`` float matrix with the device name attached for reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+class TraceSet:
+    """An ordered set of equal-length power traces from one device."""
+
+    def __init__(self, device_name: str, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError(f"trace matrix must be 2-D, got shape {matrix.shape}")
+        if matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise ValueError("trace matrix must be non-empty")
+        self.device_name = device_name
+        self.matrix = matrix
+
+    @property
+    def n_traces(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def trace_length(self) -> int:
+        return self.matrix.shape[1]
+
+    def __len__(self) -> int:
+        return self.n_traces
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self.matrix[index]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.matrix)
+
+    def subset(self, indices: Sequence[int]) -> "TraceSet":
+        """A new TraceSet containing the selected traces (copied)."""
+        index_array = np.asarray(indices, dtype=int)
+        if index_array.ndim != 1 or index_array.size == 0:
+            raise ValueError("indices must be a non-empty 1-D sequence")
+        if np.any(index_array < 0) or np.any(index_array >= self.n_traces):
+            raise IndexError("trace index out of range")
+        return TraceSet(self.device_name, self.matrix[index_array].copy())
+
+    def mean_trace(self) -> np.ndarray:
+        """Element-wise mean over all traces."""
+        return self.matrix.mean(axis=0)
+
+    def extend(self, other: "TraceSet") -> "TraceSet":
+        """Concatenate two trace sets from the same device."""
+        if other.trace_length != self.trace_length:
+            raise ValueError(
+                f"trace length mismatch: {self.trace_length} vs {other.trace_length}"
+            )
+        return TraceSet(
+            self.device_name, np.vstack([self.matrix, other.matrix])
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceSet({self.device_name!r}, n={self.n_traces}, "
+            f"length={self.trace_length})"
+        )

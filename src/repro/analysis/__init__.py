@@ -1,0 +1,53 @@
+"""Statistics helpers and Monte-Carlo validation of the parameter math."""
+
+from repro.analysis.collisions import (
+    CollisionSummary,
+    collision_summary,
+    cross_key_correlations,
+    expected_random_correlation_bound,
+    keys_below_bound,
+    switching_matrix,
+)
+from repro.analysis.roc import (
+    ROCCurve,
+    detection_gap_sweep,
+    roc_from_scores,
+    sample_mean_scores,
+    screening_roc,
+)
+from repro.analysis.montecarlo import (
+    ReuseEstimate,
+    estimate_reuse_probability,
+    property_p1_numeric,
+    property_p2_numeric,
+)
+from repro.analysis.stats import (
+    SummaryStats,
+    binomial_confidence,
+    signal_to_noise_ratio,
+    variance_ratio_f_test,
+    welch_t_test,
+)
+
+__all__ = [
+    "SummaryStats",
+    "welch_t_test",
+    "variance_ratio_f_test",
+    "binomial_confidence",
+    "signal_to_noise_ratio",
+    "ReuseEstimate",
+    "estimate_reuse_probability",
+    "property_p1_numeric",
+    "property_p2_numeric",
+    "CollisionSummary",
+    "collision_summary",
+    "cross_key_correlations",
+    "switching_matrix",
+    "expected_random_correlation_bound",
+    "keys_below_bound",
+    "ROCCurve",
+    "roc_from_scores",
+    "screening_roc",
+    "sample_mean_scores",
+    "detection_gap_sweep",
+]

@@ -1,0 +1,107 @@
+"""Monte-Carlo validation of the paper's parameter mathematics (E5).
+
+The closed form
+
+    P(zeta) = 1 - (1 + (m-1)/(alpha m)) (1 - 1/(alpha m))^(m-1)
+
+describes the probability that one given trace out of ``n2 = alpha k m``
+is selected by more than one of the ``m`` independent k-selections.
+This module estimates the same probability by actually running the
+selection machinery from :mod:`repro.core.selection`, so the formula,
+the code and the paper agree — and it also exercises the two limit
+properties P1 (alpha to infinity) and P2 (m to infinity) numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.acquisition.bench import RngLike, make_rng
+from repro.core.parameters import reuse_probability, reuse_probability_limit
+from repro.core.selection import selection_indices_batch
+
+
+@dataclass(frozen=True)
+class ReuseEstimate:
+    """Monte-Carlo estimate of P(zeta) next to the closed form."""
+
+    alpha: float
+    k: int
+    m: int
+    n2: int
+    trials: int
+    estimate: float
+    closed_form: float
+    standard_error: float
+
+    @property
+    def z_score(self) -> float:
+        """How many standard errors the estimate sits from the formula."""
+        if self.standard_error == 0:
+            return 0.0
+        return (self.estimate - self.closed_form) / self.standard_error
+
+
+def estimate_reuse_probability(
+    alpha: float = 10.0,
+    k: int = 50,
+    m: int = 20,
+    trials: int = 2000,
+    rng: RngLike = None,
+    tracked_element: Optional[int] = None,
+) -> ReuseEstimate:
+    """Estimate P(zeta) for one tracked trace by direct simulation.
+
+    Each trial draws ``m`` independent k-selections from ``n2 = alpha
+    k m`` traces and checks whether the tracked element (default:
+    element 0 — by symmetry any index gives the same probability)
+    appears in two or more selections.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    n2 = int(round(alpha * k * m))
+    if n2 < k:
+        raise ValueError("n2 must be at least k")
+    element = 0 if tracked_element is None else tracked_element
+    if not 0 <= element < n2:
+        raise ValueError(f"tracked element {element} out of range [0, {n2})")
+    generator = make_rng(rng)
+    hits = 0
+    for _trial in range(trials):
+        indices = selection_indices_batch(n2, k, m, generator)
+        appearances = int(np.sum(np.any(indices == element, axis=1)))
+        if appearances >= 2:
+            hits += 1
+    estimate = hits / trials
+    closed_form = reuse_probability(alpha, m)
+    standard_error = float(np.sqrt(max(estimate * (1 - estimate), 1e-12) / trials))
+    return ReuseEstimate(
+        alpha=alpha,
+        k=k,
+        m=m,
+        n2=n2,
+        trials=trials,
+        estimate=estimate,
+        closed_form=closed_form,
+        standard_error=standard_error,
+    )
+
+
+def property_p1_numeric(m: int, alphas=(1, 10, 100, 1000, 10_000)) -> bool:
+    """P1: f_alpha(m) decreases to 0 as alpha grows."""
+    values = [reuse_probability(alpha, m) for alpha in alphas]
+    decreasing = all(b <= a for a, b in zip(values, values[1:]))
+    vanishes = values[-1] < 1e-3
+    return decreasing and vanishes
+
+
+def property_p2_numeric(alpha: float, rel_tol: float = 1e-3, m_large: int = 100_000) -> bool:
+    """P2: f_alpha(m) approaches 1 - ((alpha+1)/alpha) e^{-1/alpha}."""
+    limit = reuse_probability_limit(alpha)
+    value = reuse_probability(alpha, m_large)
+    if limit == 0:
+        return abs(value) < rel_tol
+    return abs(value - limit) <= rel_tol * limit

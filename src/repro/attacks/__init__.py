@@ -1,0 +1,33 @@
+"""Adversarial analysis of the watermark scheme: removal, key
+forgery/recovery, and masking-noise attacks, with defender
+counter-moves."""
+
+from repro.attacks.forgery import (
+    KeySearchResult,
+    forged_key_collision_correlation,
+    predicted_h_switching,
+    template_key_search,
+)
+from repro.attacks.masking import (
+    MaskingPoint,
+    defender_k_escalation,
+    masking_sweep,
+)
+from repro.attacks.removal import (
+    RemovalReport,
+    strip_output_pads_only,
+    strip_watermark,
+)
+
+__all__ = [
+    "RemovalReport",
+    "strip_watermark",
+    "strip_output_pads_only",
+    "KeySearchResult",
+    "template_key_search",
+    "predicted_h_switching",
+    "forged_key_collision_correlation",
+    "MaskingPoint",
+    "masking_sweep",
+    "defender_k_escalation",
+]

@@ -1,0 +1,62 @@
+"""Related-work baseline watermarking/verification schemes.
+
+* :mod:`repro.baselines.output_mark` — output-mark insertion [16];
+* :mod:`repro.baselines.state_insertion` — added-state FSM watermark [12];
+* :mod:`repro.baselines.becker` — spread-spectrum side-channel watermark [17].
+"""
+
+from repro.baselines.becker import (
+    BeckerDetector,
+    PNDetection,
+    attach_pn_leakage,
+    pn_sequence,
+)
+from repro.baselines.graph_coloring import (
+    GraphWatermark,
+    coincidence_probability,
+    embed_signature,
+    greedy_coloring,
+    is_proper_coloring,
+    overhead_in_colors,
+    verify_signature,
+)
+from repro.baselines.output_mark import (
+    OutputMark,
+    OutputMarkVerifier,
+    collision_rate,
+    embed_output_mark,
+    response_to,
+    verify_output_mark,
+)
+from repro.baselines.state_insertion import (
+    EmbeddingStats,
+    StateInsertionWatermark,
+    embed_state_insertion,
+    verify_state_insertion,
+    visited_watermark_states,
+)
+
+__all__ = [
+    "OutputMark",
+    "OutputMarkVerifier",
+    "embed_output_mark",
+    "verify_output_mark",
+    "response_to",
+    "collision_rate",
+    "StateInsertionWatermark",
+    "EmbeddingStats",
+    "embed_state_insertion",
+    "verify_state_insertion",
+    "visited_watermark_states",
+    "pn_sequence",
+    "attach_pn_leakage",
+    "BeckerDetector",
+    "PNDetection",
+    "GraphWatermark",
+    "embed_signature",
+    "verify_signature",
+    "greedy_coloring",
+    "is_proper_coloring",
+    "coincidence_probability",
+    "overhead_in_colors",
+]

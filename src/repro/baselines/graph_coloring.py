@@ -1,0 +1,170 @@
+"""Baseline [13]/[9]: constraint-based watermarking of graph coloring.
+
+The paper's related work traces FSM watermarking back to watermarking
+combinatorial-optimisation solutions (Qu & Potkonjak for graph
+coloring, Wolfe/Wong/Potkonjak for partitioning): the author's
+signature is embedded as *extra constraints* that any genuine solution
+satisfies, and ownership is argued from the improbability of a random
+solution satisfying them all.
+
+Implementation: for each signature bit, a keyed PRNG picks a pair of
+currently non-adjacent vertices; bit 1 adds the edge (forcing the two
+vertices into different colours), bit 0 leaves the pair unconstrained
+but still *consumes* it (so the constraint positions themselves encode
+the signature).  Verification re-derives the pair sequence from the
+key and checks the published colouring separates exactly the bit-1
+pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+Vertex = Hashable
+Coloring = Dict[Vertex, int]
+
+
+@dataclass(frozen=True)
+class GraphWatermark:
+    """The embedded constraints for one signature."""
+
+    key: int
+    signature: Tuple[int, ...]
+    constrained_pairs: Tuple[Tuple[Vertex, Vertex], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.constrained_pairs) != len(self.signature):
+            raise ValueError("one constrained pair per signature bit required")
+
+
+def _pair_sequence(
+    graph: nx.Graph, n_pairs: int, key: int
+) -> List[Tuple[Vertex, Vertex]]:
+    """Keyed pseudo-random sequence of distinct non-adjacent pairs."""
+    rng = np.random.default_rng(key)
+    vertices = sorted(graph.nodes, key=repr)
+    if len(vertices) < 2:
+        raise ValueError("graph needs at least two vertices")
+    pairs: List[Tuple[Vertex, Vertex]] = []
+    seen = set()
+    attempts = 0
+    limit = 200 * n_pairs + 1000
+    while len(pairs) < n_pairs:
+        attempts += 1
+        if attempts > limit:
+            raise ValueError(
+                f"could not find {n_pairs} non-adjacent pairs (graph too dense)"
+            )
+        i, j = rng.integers(0, len(vertices), size=2)
+        if i == j:
+            continue
+        a, b = vertices[min(i, j)], vertices[max(i, j)]
+        if (a, b) in seen or graph.has_edge(a, b):
+            continue
+        seen.add((a, b))
+        pairs.append((a, b))
+    return pairs
+
+
+def embed_signature(
+    graph: nx.Graph, signature: Sequence[int], key: int
+) -> Tuple[nx.Graph, GraphWatermark]:
+    """Embed a bit signature as extra colouring constraints.
+
+    Returns the constrained copy of the graph and the watermark record
+    needed for verification.
+    """
+    bits = tuple(int(b) for b in signature)
+    if not bits:
+        raise ValueError("signature must be non-empty")
+    if any(b not in (0, 1) for b in bits):
+        raise ValueError("signature must be bits")
+    constrained = graph.copy()
+    pairs = _pair_sequence(graph, len(bits), key)
+    for bit, (a, b) in zip(bits, pairs):
+        if bit:
+            constrained.add_edge(a, b)
+    return constrained, GraphWatermark(
+        key=key, signature=bits, constrained_pairs=tuple(pairs)
+    )
+
+
+def greedy_coloring(graph: nx.Graph) -> Coloring:
+    """A deterministic greedy colouring (largest-first strategy)."""
+    return nx.coloring.greedy_color(graph, strategy="largest_first")
+
+
+def is_proper_coloring(graph: nx.Graph, coloring: Coloring) -> bool:
+    """Every edge separates its endpoints' colours."""
+    return all(coloring[a] != coloring[b] for a, b in graph.edges)
+
+
+def verify_signature(
+    original_graph: nx.Graph, coloring: Coloring, watermark: GraphWatermark
+) -> bool:
+    """Check a published colouring against the embedded signature.
+
+    Re-derives the keyed pair sequence from the *original* graph and
+    requires every bit-1 pair to be separated.  (Bit-0 pairs carry no
+    constraint — their information lies in which positions are
+    constrained.)
+    """
+    pairs = _pair_sequence(original_graph, len(watermark.signature), watermark.key)
+    if tuple(pairs) != watermark.constrained_pairs:
+        return False
+    for bit, (a, b) in zip(watermark.signature, pairs):
+        if bit and coloring.get(a) == coloring.get(b):
+            return False
+    return True
+
+
+def coincidence_probability(
+    original_graph: nx.Graph,
+    watermark: GraphWatermark,
+    trials: int = 200,
+    seed: int = 0,
+) -> float:
+    """Empirical probability that an *unwatermarked* solution passes.
+
+    Colours the original (unconstrained) graph with randomised vertex
+    orders and counts how often the colouring happens to satisfy every
+    bit-1 constraint — the false-ownership probability the scheme's
+    proof rests on.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    rng = np.random.default_rng(seed)
+    vertices = list(original_graph.nodes)
+    hits = 0
+    for _trial in range(trials):
+        order = list(rng.permutation(len(vertices)))
+        coloring: Coloring = {}
+        for index in order:
+            vertex = vertices[index]
+            neighbour_colors = {
+                coloring[n] for n in original_graph.neighbors(vertex) if n in coloring
+            }
+            color = 0
+            while color in neighbour_colors:
+                color += 1
+            coloring[vertex] = color
+        ok = all(
+            coloring[a] != coloring[b]
+            for bit, (a, b) in zip(watermark.signature, watermark.constrained_pairs)
+            if bit
+        )
+        hits += ok
+    return hits / trials
+
+
+def overhead_in_colors(
+    original_graph: nx.Graph, constrained_graph: nx.Graph
+) -> int:
+    """Extra colours the constraints cost (greedy estimate)."""
+    base = max(greedy_coloring(original_graph).values()) + 1
+    marked = max(greedy_coloring(constrained_graph).values()) + 1
+    return marked - base

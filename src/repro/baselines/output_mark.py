@@ -1,0 +1,144 @@
+"""Baseline [16]: output-mark watermark verification (Le Gal & Bossuet).
+
+The comparator verifies a watermark by "reading the answer of the IC to
+a specific input sequence": the embedder patches a Mealy machine so a
+secret trigger input sequence makes the outputs spell a signature.
+
+Contrast with the paper's scheme: verification requires functional
+access to the IP's inputs and outputs, which is often unavailable once
+the IP is embedded in a larger system — the motivation for the paper's
+side-channel verification, which needs only the power pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.fsm.machine import MealyMachine
+
+State = Hashable
+Symbol = Hashable
+
+
+@dataclass(frozen=True)
+class OutputMark:
+    """The secret trigger and the signature it must elicit."""
+
+    trigger: Tuple[Symbol, ...]
+    signature: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.trigger:
+            raise ValueError("trigger sequence must be non-empty")
+        if len(self.signature) != len(self.trigger):
+            raise ValueError("signature must be as long as the trigger")
+
+
+def embed_output_mark(
+    machine: MealyMachine, mark: OutputMark
+) -> MealyMachine:
+    """Return a machine whose outputs spell the mark under the trigger.
+
+    A parallel chain of fresh "mark states" shadows the original
+    behaviour while the trigger is being consumed; any deviation from
+    the trigger falls back into the original machine, so functional
+    behaviour under normal inputs is preserved except for the output
+    overrides on the exact trigger path.
+    """
+    for symbol in mark.trigger:
+        if symbol not in machine.alphabet:
+            raise ValueError(f"trigger symbol {symbol!r} not in the alphabet")
+
+    chain_states = [f"__mark_{i}" for i in range(len(mark.trigger))]
+    all_states = tuple(machine.states) + tuple(chain_states)
+    original_states = set(machine.states)
+
+    def transition(state: State, symbol: Symbol) -> State:
+        if state in original_states:
+            if state == machine.initial_state and symbol == mark.trigger[0]:
+                return chain_states[0] if len(chain_states) > 1 else _landing(state, symbol)
+            return machine.step(state, symbol)[0]
+        index = chain_states.index(state)
+        if index + 1 < len(mark.trigger) and symbol == mark.trigger[index + 1]:
+            if index + 2 <= len(chain_states) - 1:
+                return chain_states[index + 1]
+            return _landing(state, symbol)
+        # Wrong symbol: abandon the chain, resynchronise at reset state.
+        return machine.initial_state
+
+    def _landing(state: State, symbol: Symbol) -> State:
+        # After the full trigger, resume normal operation from reset.
+        return machine.initial_state
+
+    def output(state: State, symbol: Symbol) -> int:
+        if state in original_states:
+            if state == machine.initial_state and symbol == mark.trigger[0]:
+                return mark.signature[0]
+            return machine.step(state, symbol)[1]
+        index = chain_states.index(state)
+        if index + 1 < len(mark.trigger) and symbol == mark.trigger[index + 1]:
+            return mark.signature[index + 1]
+        return machine.step(machine.initial_state, symbol)[1]
+
+    return MealyMachine(
+        states=all_states,
+        alphabet=machine.alphabet,
+        transition=transition,
+        output=output,
+        initial_state=machine.initial_state,
+    )
+
+
+def verify_output_mark(machine: MealyMachine, mark: OutputMark) -> bool:
+    """Drive the trigger from reset and compare outputs to the signature."""
+    _states, outputs = machine.run(mark.trigger)
+    return tuple(outputs) == tuple(mark.signature)
+
+
+def response_to(machine: MealyMachine, inputs: Sequence[Symbol]) -> List[int]:
+    """The machine's output response to an input sequence (from reset)."""
+    _states, outputs = machine.run(inputs)
+    return outputs
+
+
+def collision_rate(
+    machine: MealyMachine,
+    mark: OutputMark,
+    probe_sequences: Sequence[Sequence[Symbol]],
+) -> float:
+    """Fraction of probe inputs that accidentally reproduce the signature.
+
+    A good output mark should only answer to its trigger.
+    """
+    if not probe_sequences:
+        raise ValueError("need at least one probe sequence")
+    hits = 0
+    for probe in probe_sequences:
+        if len(probe) != len(mark.trigger):
+            continue
+        if tuple(response_to(machine, probe)) == tuple(mark.signature) and tuple(
+            probe
+        ) != tuple(mark.trigger):
+            hits += 1
+    return hits / len(probe_sequences)
+
+
+@dataclass
+class OutputMarkVerifier:
+    """Baseline verifier with the same call shape as WatermarkVerifier.
+
+    ``requires_io_access`` is the comparison point: this verifier
+    cannot run on a device whose IP ports are not reachable.
+    """
+
+    mark: OutputMark
+    requires_io_access: bool = True
+
+    def verify(self, machine: MealyMachine) -> Dict[str, object]:
+        authentic = verify_output_mark(machine, self.mark)
+        return {
+            "method": "output-mark [16]",
+            "authentic": authentic,
+            "requires_io_access": self.requires_io_access,
+        }

@@ -1,0 +1,176 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    repro-watermark tables          # Tables I and II, paper vs measured
+    repro-watermark figure4         # ASCII Fig. 4 panels
+    repro-watermark figure5         # ASCII Fig. 5 curve
+    repro-watermark campaign        # verdict matrix + accuracies
+    repro-watermark plan --alpha 10 --k 50   # parameter planning
+    repro-watermark collisions      # exhaustive key-collision census
+    repro-watermark keysearch       # CPA template attack on Kw
+
+All subcommands accept ``--seed`` to change the measurement seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.parameters import plan_parameters
+from repro.core.report import render_verdicts
+from repro.experiments.figure4 import figure4_panels, render_figure4
+from repro.experiments.figure5 import figure5_data, render_figure5
+from repro.experiments.runner import CampaignConfig, run_campaign
+from repro.experiments.tables import (
+    render_paper_table1,
+    render_paper_table2,
+    render_table1,
+    render_table2,
+)
+
+
+def _campaign_config(args: argparse.Namespace) -> CampaignConfig:
+    return CampaignConfig(measurement_seed=args.seed, analysis_seed=args.seed + 1)
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    outcome = run_campaign(_campaign_config(args))
+    print("=== Table I (means of the correlation sets) — measured ===")
+    print(render_table1(outcome))
+    print()
+    print("=== Table I — paper ===")
+    print(render_paper_table1())
+    print()
+    print("=== Table II (variances of the correlation sets) — measured ===")
+    print(render_table2(outcome))
+    print()
+    print("=== Table II — paper ===")
+    print(render_paper_table2())
+    return 0
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    panels = figure4_panels(_campaign_config(args))
+    print(render_figure4(panels))
+    return 0
+
+
+def _cmd_figure5(args: argparse.Namespace) -> int:
+    data = figure5_data(alpha=args.alpha)
+    print(render_figure5(data))
+    print(
+        f"P(zeta) at m = 20: {data.p_zeta_at_paper_m:.6f} "
+        "(paper: 0.0045)"
+    )
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    outcome = run_campaign(_campaign_config(args))
+    for ref, report in outcome.reports.items():
+        print(render_verdicts(report))
+        print()
+    print(f"higher-mean accuracy:    {outcome.accuracy('higher-mean'):.2f}")
+    print(f"lower-variance accuracy: {outcome.accuracy('lower-variance'):.2f}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    plan = plan_parameters(k=args.k, alpha=args.alpha, rel_tol=args.tolerance)
+    p = plan.parameters
+    print(f"alpha = {plan.alpha:g}")
+    print(f"P(zeta) limit    = {plan.p_zeta_limit:.6f}")
+    print(f"chosen m         = {p.m}  (P(zeta) = {plan.p_zeta:.6f})")
+    print(f"chosen k         = {p.k}")
+    print(f"n1 (RefD traces) = {p.n1}")
+    print(f"n2 (DUT traces)  = {p.n2}")
+    return 0
+
+
+def _cmd_collisions(args: argparse.Namespace) -> int:
+    from repro.analysis.collisions import collision_summary
+
+    summary = collision_summary(list(range(256)))
+    print("Exhaustive cross-key switching-correlation census (binary FSM):")
+    print(f"  key pairs: {summary.n_pairs}")
+    print(f"  mean rho:  {summary.mean:+.4f} (std {summary.std:.4f})")
+    print(f"  range:     [{summary.minimum:+.3f}, {summary.maximum:+.3f}]")
+    a, b = summary.worst_pair
+    print(
+        f"  worst pair: 0x{a:02X}/0x{b:02X} "
+        f"(Hamming distance {bin(a ^ b).count('1')})"
+    )
+    return 0
+
+
+def _cmd_keysearch(args: argparse.Namespace) -> int:
+    from repro.acquisition.bench import acquire_traces
+    from repro.acquisition.device import Device
+    from repro.attacks.forgery import template_key_search
+    from repro.experiments.designs import KW1, build_paper_ip
+    from repro.power.models import PowerModel
+
+    device = Device("DUT", build_paper_ip("IP_A"), PowerModel(), default_cycles=256)
+    traces = acquire_traces(device, args.traces, rng=args.seed)
+    result = template_key_search(
+        traces,
+        list(range(256)),
+        KW1,
+        samples_per_cycle=4,
+        n_average=args.traces,
+    )
+    print(f"256-template CPA against Kw = 0x{KW1:02X}:")
+    print(f"  recovered: {result.succeeded}")
+    print(f"  rank of true key: {result.rank_of_true_key()}")
+    print(f"  margin over runner-up: {result.margin:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-watermark",
+        description="Reproduce the SOCC 2014 IP-watermark verification paper.",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="measurement seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("tables", help="Tables I and II, paper vs measured")
+    subparsers.add_parser("figure4", help="Fig. 4 correlation panels (ASCII)")
+
+    fig5 = subparsers.add_parser("figure5", help="Fig. 5 f_alpha(m) curve (ASCII)")
+    fig5.add_argument("--alpha", type=float, default=10.0)
+
+    subparsers.add_parser("campaign", help="full campaign verdicts")
+
+    plan = subparsers.add_parser("plan", help="parameter planning")
+    plan.add_argument("--alpha", type=float, default=10.0)
+    plan.add_argument("--k", type=int, default=50)
+    plan.add_argument("--tolerance", type=float, default=0.05)
+
+    subparsers.add_parser("collisions", help="exhaustive key-collision census")
+
+    keysearch = subparsers.add_parser("keysearch", help="CPA template attack on Kw")
+    keysearch.add_argument("--traces", type=int, default=300)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "tables": _cmd_tables,
+        "figure4": _cmd_figure4,
+        "figure5": _cmd_figure5,
+        "campaign": _cmd_campaign,
+        "plan": _cmd_plan,
+        "collisions": _cmd_collisions,
+        "keysearch": _cmd_keysearch,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

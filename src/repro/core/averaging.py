@@ -1,0 +1,42 @@
+"""k-averaged traces — the paper's ``A_device`` and ``A_device,m``.
+
+``A_RefD = mean(U_T_RefD(k))`` is a single averaged reference trace;
+``A_DUT,m = {mean(U_T_DUT(k))}_m`` is a set of ``m`` independently
+drawn k-averaged traces.  Averaging ``k`` aligned traces attenuates the
+measurement noise by ``sqrt(k)`` while preserving the deterministic
+switching waveform — this is what turns a sub-unity-SNR single trace
+into a usable signature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acquisition.traces import TraceSet
+from repro.core.selection import select_traces, selection_indices_batch
+
+
+def k_averaged_trace(
+    traces: TraceSet, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """One k-averaged trace: ``mean(U_X(k))`` (the paper's ``A_device``)."""
+    selected = select_traces(traces, k, rng)
+    return selected.mean(axis=0)
+
+
+def k_averaged_set(
+    traces: TraceSet, k: int, m: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``m`` independent k-averaged traces (the paper's ``A_device,m``).
+
+    Returns an ``(m, l)`` matrix; row ``i`` is ``A_device,m(i)``.
+    """
+    indices = selection_indices_batch(traces.n_traces, k, m, rng)
+    return traces.matrix[indices].mean(axis=1)
+
+
+def averaging_noise_reduction(k: int) -> float:
+    """Theoretical noise-amplitude reduction factor of k-averaging."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    return float(np.sqrt(k))

@@ -1,0 +1,105 @@
+"""Pearson correlation and the correlation-coefficient sets.
+
+The paper's verification statistic is the Pearson coefficient
+
+    rho(x, y) = sum((x_i - mean(x)) (y_i - mean(y)))
+                / sqrt(sum((x_i - mean(x))^2) * sum((y_i - mean(y))^2))
+
+computed between the single averaged reference ``A_RefD`` and each of
+the ``m`` averaged DUT traces, yielding the set ``C_RefD,DUT,m,k``.
+Pearson's invariance to gain and offset is what makes the scheme
+insensitive to die-to-die process variation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class DegenerateTraceError(Exception):
+    """A trace with zero variance cannot be correlated."""
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient of two equal-length traces."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.ndim != 1 or y.ndim != 1:
+        raise ValueError("pearson expects 1-D traces")
+    if x.size != y.size:
+        raise ValueError(f"trace length mismatch: {x.size} vs {y.size}")
+    if x.size < 2:
+        raise ValueError("traces must have at least two samples")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denominator = np.sqrt(np.sum(xc * xc) * np.sum(yc * yc))
+    if denominator == 0:
+        raise DegenerateTraceError("a trace has zero variance")
+    value = float(np.sum(xc * yc) / denominator)
+    # Guard against floating-point excursions outside [-1, 1].
+    return float(np.clip(value, -1.0, 1.0))
+
+
+def pearson_many(reference: np.ndarray, traces: np.ndarray) -> np.ndarray:
+    """Pearson of one reference against each row of ``traces``.
+
+    Vectorised equivalent of ``[pearson(reference, t) for t in traces]``.
+    """
+    reference = np.asarray(reference, dtype=float)
+    traces = np.asarray(traces, dtype=float)
+    if reference.ndim != 1:
+        raise ValueError("reference must be 1-D")
+    if traces.ndim != 2:
+        raise ValueError("traces must be a 2-D (m, l) matrix")
+    if traces.shape[1] != reference.size:
+        raise ValueError(
+            f"trace length mismatch: {traces.shape[1]} vs {reference.size}"
+        )
+    ref_centered = reference - reference.mean()
+    ref_norm = np.sqrt(np.sum(ref_centered**2))
+    rows_centered = traces - traces.mean(axis=1, keepdims=True)
+    row_norms = np.sqrt(np.sum(rows_centered**2, axis=1))
+    if ref_norm == 0 or np.any(row_norms == 0):
+        raise DegenerateTraceError("a trace has zero variance")
+    values = rows_centered @ ref_centered / (row_norms * ref_norm)
+    return np.clip(values, -1.0, 1.0)
+
+
+def fisher_z(rho: np.ndarray) -> np.ndarray:
+    """Fisher z-transform ``atanh(rho)`` (variance-stabilising).
+
+    Used by the extension distinguishers; clipped slightly inside
+    (-1, 1) to stay finite.
+    """
+    rho = np.clip(np.asarray(rho, dtype=float), -0.999999, 0.999999)
+    return np.arctanh(rho)
+
+
+def expected_match_correlation(k: int, noise_sigma_rel: float) -> float:
+    """First-order prediction of the matching-pair correlation.
+
+    For two k-averaged traces of the *same* deterministic waveform with
+    relative noise ``sigma`` (noise std / signal std), the expected
+    Pearson coefficient is ``1 / (1 + sigma^2 / k)``.  Used for
+    calibration sanity checks, not by the verification itself.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if noise_sigma_rel < 0:
+        raise ValueError("noise sigma must be non-negative")
+    return 1.0 / (1.0 + noise_sigma_rel**2 / k)
+
+
+def expected_correlation_variance(rho: float, trace_length: int) -> float:
+    """Asymptotic sampling variance of the Pearson estimate.
+
+    ``Var(rho_hat) ~= (1 - rho^2)^2 / l`` for trace length ``l``.  This
+    is why the paper's *variance* distinguisher works so well: the
+    matching pair's high correlation collapses the sampling variance
+    quadratically.
+    """
+    if not -1.0 <= rho <= 1.0:
+        raise ValueError("rho must be in [-1, 1]")
+    if trace_length < 2:
+        raise ValueError("trace_length must be at least 2")
+    return (1.0 - rho**2) ** 2 / trace_length

@@ -1,0 +1,150 @@
+"""Parameter selection for the correlation process (paper Section V.B).
+
+With ``n2 = alpha * k * m`` DUT traces, the probability that one given
+trace is used by a single k-selection is ``P(t_i) = 1 / (alpha m)``,
+and the probability of the event ζ — "for m selections, the trace t_i
+is selected more than one time" — has the closed form
+
+    P(zeta) = f_alpha(m)
+            = 1 - (1 + (m-1)/(alpha m)) * (1 - 1/(alpha m))^(m-1)
+
+with the two properties the paper highlights:
+
+* P1: for fixed m, ``f_alpha(m) -> 0`` as ``alpha -> +inf``;
+* P2: for fixed alpha, ``f_alpha(m) -> 1 - ((alpha+1)/alpha) e^(-1/alpha)``
+  as ``m -> +inf`` — so the designer first chooses the acceptable
+  P(zeta) (hence alpha), then the smallest m close enough to the limit,
+  then k freely (it only costs measurement time), and finally
+  ``n2 = alpha k m``.
+
+The paper's example: ``alpha = 10`` gives a limit of about 0.00468;
+staying within 5 % of the limit needs ``m`` around 17, and the chosen
+``(alpha, m, k) = (10, 20, 50)`` fixes ``P(zeta) ~= 0.0045`` and
+``n2 = 10 000``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.process import ProcessParameters
+
+
+def single_selection_probability(alpha: float, m: int) -> float:
+    """``P(t_i) = 1 / (alpha m)``: chance one trace is in one selection."""
+    if alpha < 1:
+        raise ValueError(f"alpha must be >= 1, got {alpha}")
+    if m <= 0:
+        raise ValueError(f"m must be positive, got {m}")
+    return 1.0 / (alpha * m)
+
+
+def reuse_probability(alpha: float, m: int) -> float:
+    """The paper's ``P(zeta) = f_alpha(m)`` closed form."""
+    p = single_selection_probability(alpha, m)
+    return 1.0 - (1.0 + (m - 1) * p) * (1.0 - p) ** (m - 1)
+
+
+def reuse_probability_limit(alpha: float) -> float:
+    """Property P2: ``lim_{m->inf} f_alpha(m) = 1 - ((alpha+1)/alpha) e^{-1/alpha}``."""
+    if alpha < 1:
+        raise ValueError(f"alpha must be >= 1, got {alpha}")
+    return 1.0 - ((alpha + 1.0) / alpha) * math.exp(-1.0 / alpha)
+
+
+def alpha_for_target_probability(p_target: float) -> float:
+    """Smallest alpha whose limiting P(zeta) is at most ``p_target``.
+
+    Solved by bisection on the strictly decreasing limit function.
+    """
+    if not 0 < p_target < 1:
+        raise ValueError(f"target probability must be in (0, 1), got {p_target}")
+    low, high = 1.0, 1.0
+    if reuse_probability_limit(low) <= p_target:
+        return low
+    while reuse_probability_limit(high) > p_target:
+        high *= 2.0
+        if high > 1e9:
+            raise ValueError("could not bracket alpha; target too small")
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if reuse_probability_limit(mid) > p_target:
+            low = mid
+        else:
+            high = mid
+    return high
+
+
+def minimal_m_near_limit(alpha: float, rel_tol: float = 0.05, m_max: int = 10_000) -> int:
+    """Smallest m with ``f_alpha(m)`` within ``rel_tol`` of its limit.
+
+    The paper's Fig. 5 reads this off graphically (m >= 17 for
+    alpha = 10 at 5 %); this computes it exactly.
+    """
+    if not 0 < rel_tol < 1:
+        raise ValueError(f"rel_tol must be in (0, 1), got {rel_tol}")
+    limit = reuse_probability_limit(alpha)
+    if limit == 0:
+        return 1
+    for m in range(1, m_max + 1):
+        if abs(reuse_probability(alpha, m) - limit) <= rel_tol * limit:
+            return m
+    raise ValueError(f"no m <= {m_max} reaches the limit within {rel_tol}")
+
+
+def f_alpha_series(alpha: float, m_max: int) -> list:
+    """``[(m, f_alpha(m))]`` for m in [1, m_max] — the Fig. 5 curve."""
+    if m_max <= 0:
+        raise ValueError(f"m_max must be positive, got {m_max}")
+    return [(m, reuse_probability(alpha, m)) for m in range(1, m_max + 1)]
+
+
+@dataclass(frozen=True)
+class ParameterPlan:
+    """A fully resolved parameter choice with its provenance."""
+
+    parameters: ProcessParameters
+    alpha: float
+    p_zeta: float
+    p_zeta_limit: float
+
+
+def plan_parameters(
+    k: int = 50,
+    alpha: float = 10.0,
+    rel_tol: float = 0.05,
+    n1: int = None,
+    m: int = None,
+) -> ParameterPlan:
+    """Derive (n1, n2, k, m) following the paper's recipe.
+
+    1. ``alpha`` fixes the limiting reuse probability;
+    2. ``m`` defaults to the smallest value within ``rel_tol`` of that
+       limit (Fig. 5's construction);
+    3. ``k`` trades acquisition time for averaging gain, free of
+       P(zeta);
+    4. ``n2 = alpha k m``; ``n1`` defaults to ``8 k`` (paper: 400 for
+       k = 50).
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    chosen_m = m if m is not None else minimal_m_near_limit(alpha, rel_tol)
+    n2 = math.ceil(alpha * k * chosen_m)
+    chosen_n1 = n1 if n1 is not None else 8 * k
+    parameters = ProcessParameters(k=k, m=chosen_m, n1=chosen_n1, n2=n2)
+    return ParameterPlan(
+        parameters=parameters,
+        alpha=alpha,
+        p_zeta=reuse_probability(alpha, chosen_m),
+        p_zeta_limit=reuse_probability_limit(alpha),
+    )
+
+
+#: The paper's exact experimental plan (Section IV/V).
+PAPER_PLAN = ParameterPlan(
+    parameters=ProcessParameters(k=50, m=20, n1=400, n2=10_000),
+    alpha=10.0,
+    p_zeta=reuse_probability(10.0, 20),
+    p_zeta_limit=reuse_probability_limit(10.0),
+)

@@ -1,0 +1,88 @@
+"""Uniform distinct selection — the paper's ``U_X(k)``.
+
+Section III defines ``U_X(k)`` as a function that randomly selects
+``k`` *distinct* elements uniformly inside a set ``X``.  Selections are
+independent across calls (the same trace may appear in two different
+k-selections — that is precisely the event ζ whose probability the
+paper's parameter analysis bounds).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.acquisition.traces import TraceSet
+
+
+def uniform_distinct_indices(
+    n_available: int, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``k`` distinct indices drawn uniformly from ``range(n_available)``."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if k > n_available:
+        raise ValueError(
+            f"cannot select {k} distinct elements from a set of {n_available}"
+        )
+    return rng.choice(n_available, size=k, replace=False)
+
+
+def select_traces(
+    traces: TraceSet, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``U_X(k)`` over a trace set: a ``(k, l)`` matrix of distinct traces."""
+    indices = uniform_distinct_indices(traces.n_traces, k, rng)
+    return traces.matrix[indices]
+
+
+def selection_indices_batch(
+    n_available: int,
+    k: int,
+    m: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """``m`` independent k-selections, as an ``(m, k)`` index matrix.
+
+    Each row is one ``U_X(k)`` draw; rows are independent, so an index
+    may repeat *across* rows (event ζ) but never *within* a row.
+    """
+    if m <= 0:
+        raise ValueError(f"m must be positive, got {m}")
+    return np.stack(
+        [uniform_distinct_indices(n_available, k, rng) for _ in range(m)]
+    )
+
+
+def count_cross_selection_reuse(indices: np.ndarray) -> int:
+    """Number of elements appearing in more than one row of a batch.
+
+    Used by the Monte-Carlo validation of the paper's ``P(ζ)``.
+    """
+    if indices.ndim != 2:
+        raise ValueError("indices must be a 2-D (m, k) matrix")
+    flat = indices.reshape(-1)
+    values, counts = np.unique(flat, return_counts=True)
+    return int(np.sum(counts > 1))
+
+
+def batch_has_reuse(indices: np.ndarray) -> bool:
+    """True when some element appears in more than one selection (event ζ
+    for that element / batch)."""
+    return count_cross_selection_reuse(indices) > 0
+
+
+def reuse_of_element(indices: np.ndarray, element: int) -> bool:
+    """Event ζ for a *specific* element: it appears in ≥ 2 selections.
+
+    This is the exact event the paper's closed form describes for one
+    trace ``t_i``.
+    """
+    if indices.ndim != 2:
+        raise ValueError("indices must be a 2-D (m, k) matrix")
+    appearances = int(np.sum(np.any(indices == element, axis=1)))
+    return appearances >= 2
+
+
+Selection = Optional[np.ndarray]

@@ -1,0 +1,25 @@
+"""Cryptographic substrate: GF(2^8), the AES SBox and AES-128.
+
+The paper's leakage component stores the AES SBox in a small RAM; this
+package builds that SBox from first principles and ships the complete
+cipher it belongs to.
+"""
+
+from repro.crypto.aes import decrypt_block, decrypt_bytes, encrypt_block, encrypt_bytes
+from repro.crypto.gf256 import gf_add, gf_inverse, gf_mul, gf_pow
+from repro.crypto.sbox import INVERSE_SBOX, SBOX, build_inverse_sbox, build_sbox
+
+__all__ = [
+    "SBOX",
+    "INVERSE_SBOX",
+    "build_sbox",
+    "build_inverse_sbox",
+    "gf_add",
+    "gf_mul",
+    "gf_pow",
+    "gf_inverse",
+    "encrypt_block",
+    "decrypt_block",
+    "encrypt_bytes",
+    "decrypt_bytes",
+]

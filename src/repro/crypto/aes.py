@@ -1,0 +1,208 @@
+"""A from-scratch AES-128 implementation.
+
+The paper's leakage component borrows the AES SBox, so the cipher it
+belongs to is part of the substrate inventory.  This is a plain,
+readable byte-oriented implementation of FIPS-197 AES-128 (encrypt and
+decrypt); it is validated against the FIPS-197 and NIST test vectors in
+the test suite.  It is not constant time and is not meant for
+production cryptography — it exists so the SBox in the watermark RAM is
+the real artefact from a complete, working cipher.
+
+The state is kept as a list of 16 bytes in column-major order, matching
+FIPS-197: ``state[row + 4 * col]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.crypto.gf256 import gf_mul
+from repro.crypto.sbox import INVERSE_SBOX, SBOX
+
+#: Number of 32-bit words in an AES-128 key.
+KEY_WORDS = 4
+
+#: Number of rounds for AES-128.
+ROUNDS = 10
+
+#: Round constants for the key schedule (first byte of each Rcon word).
+RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+BLOCK_SIZE = 16
+KEY_SIZE = 16
+
+
+def _check_block(data: Sequence[int], name: str, size: int) -> List[int]:
+    """Validate and copy a byte sequence of the expected size."""
+    block = list(data)
+    if len(block) != size:
+        raise ValueError(f"{name} must be {size} bytes, got {len(block)}")
+    for byte in block:
+        if not 0 <= byte <= 0xFF:
+            raise ValueError(f"{name} contains a non-byte value: {byte}")
+    return block
+
+
+def expand_key(key: Sequence[int]) -> List[List[int]]:
+    """Expand a 16-byte key into 11 round keys of 16 bytes each."""
+    key_bytes = _check_block(key, "key", KEY_SIZE)
+    words: List[List[int]] = [key_bytes[4 * i : 4 * i + 4] for i in range(KEY_WORDS)]
+    for i in range(KEY_WORDS, 4 * (ROUNDS + 1)):
+        temp = list(words[i - 1])
+        if i % KEY_WORDS == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [SBOX[b] for b in temp]
+            temp[0] ^= RCON[i // KEY_WORDS - 1]
+        words.append([a ^ b for a, b in zip(words[i - KEY_WORDS], temp)])
+    round_keys = []
+    for round_index in range(ROUNDS + 1):
+        round_key: List[int] = []
+        for word in words[4 * round_index : 4 * round_index + 4]:
+            round_key.extend(word)
+        round_keys.append(round_key)
+    return round_keys
+
+
+def add_round_key(state: List[int], round_key: Sequence[int]) -> List[int]:
+    """XOR the state with one round key."""
+    return [s ^ k for s, k in zip(state, round_key)]
+
+
+def sub_bytes(state: List[int]) -> List[int]:
+    """Apply the SBox to every state byte."""
+    return [SBOX[b] for b in state]
+
+
+def inv_sub_bytes(state: List[int]) -> List[int]:
+    """Apply the inverse SBox to every state byte."""
+    return [INVERSE_SBOX[b] for b in state]
+
+
+def _rows(state: Sequence[int]) -> List[List[int]]:
+    """View the column-major flat state as four rows."""
+    return [[state[row + 4 * col] for col in range(4)] for row in range(4)]
+
+
+def _from_rows(rows: Sequence[Sequence[int]]) -> List[int]:
+    """Flatten four rows back into column-major order."""
+    return [rows[row][col] for col in range(4) for row in range(4)]
+
+
+def shift_rows(state: List[int]) -> List[int]:
+    """Rotate row r left by r positions."""
+    rows = _rows(state)
+    shifted = [rows[r][r:] + rows[r][:r] for r in range(4)]
+    return _from_rows(shifted)
+
+
+def inv_shift_rows(state: List[int]) -> List[int]:
+    """Rotate row r right by r positions."""
+    rows = _rows(state)
+    shifted = [rows[r][-r:] + rows[r][:-r] if r else list(rows[r]) for r in range(4)]
+    return _from_rows(shifted)
+
+
+def _mix_single_column(column: Sequence[int], matrix: Sequence[Sequence[int]]) -> List[int]:
+    """Multiply one state column by a 4x4 GF(2^8) matrix."""
+    mixed = []
+    for row in matrix:
+        value = 0
+        for coefficient, byte in zip(row, column):
+            value ^= gf_mul(coefficient, byte)
+        mixed.append(value)
+    return mixed
+
+
+_MIX_MATRIX = ((2, 3, 1, 1), (1, 2, 3, 1), (1, 1, 2, 3), (3, 1, 1, 2))
+_INV_MIX_MATRIX = (
+    (0x0E, 0x0B, 0x0D, 0x09),
+    (0x09, 0x0E, 0x0B, 0x0D),
+    (0x0D, 0x09, 0x0E, 0x0B),
+    (0x0B, 0x0D, 0x09, 0x0E),
+)
+
+
+def mix_columns(state: List[int]) -> List[int]:
+    """Apply the MixColumns diffusion step to all four columns."""
+    result: List[int] = []
+    for col in range(4):
+        column = state[4 * col : 4 * col + 4]
+        result.extend(_mix_single_column(column, _MIX_MATRIX))
+    return result
+
+
+def inv_mix_columns(state: List[int]) -> List[int]:
+    """Apply the inverse MixColumns step to all four columns."""
+    result: List[int] = []
+    for col in range(4):
+        column = state[4 * col : 4 * col + 4]
+        result.extend(_mix_single_column(column, _INV_MIX_MATRIX))
+    return result
+
+
+def encrypt_block(plaintext: Sequence[int], key: Sequence[int]) -> List[int]:
+    """Encrypt one 16-byte block with AES-128."""
+    state = _check_block(plaintext, "plaintext", BLOCK_SIZE)
+    round_keys = expand_key(key)
+    state = add_round_key(state, round_keys[0])
+    for round_index in range(1, ROUNDS):
+        state = sub_bytes(state)
+        state = shift_rows(state)
+        state = mix_columns(state)
+        state = add_round_key(state, round_keys[round_index])
+    state = sub_bytes(state)
+    state = shift_rows(state)
+    state = add_round_key(state, round_keys[ROUNDS])
+    return state
+
+
+def decrypt_block(ciphertext: Sequence[int], key: Sequence[int]) -> List[int]:
+    """Decrypt one 16-byte block with AES-128."""
+    state = _check_block(ciphertext, "ciphertext", BLOCK_SIZE)
+    round_keys = expand_key(key)
+    state = add_round_key(state, round_keys[ROUNDS])
+    for round_index in range(ROUNDS - 1, 0, -1):
+        state = inv_shift_rows(state)
+        state = inv_sub_bytes(state)
+        state = add_round_key(state, round_keys[round_index])
+        state = inv_mix_columns(state)
+    state = inv_shift_rows(state)
+    state = inv_sub_bytes(state)
+    state = add_round_key(state, round_keys[0])
+    return state
+
+
+def encrypt_bytes(plaintext: bytes, key: bytes) -> bytes:
+    """Encrypt one 16-byte block given as ``bytes``."""
+    return bytes(encrypt_block(list(plaintext), list(key)))
+
+
+def decrypt_bytes(ciphertext: bytes, key: bytes) -> bytes:
+    """Decrypt one 16-byte block given as ``bytes``."""
+    return bytes(decrypt_block(list(ciphertext), list(key)))
+
+
+def encrypt_ecb(plaintext: Iterable[int], key: Sequence[int]) -> List[int]:
+    """Encrypt a multiple-of-16-byte message in ECB mode.
+
+    ECB is provided only to exercise the block cipher over longer
+    inputs in tests; it is not a recommended mode.
+    """
+    data = list(plaintext)
+    if len(data) % BLOCK_SIZE != 0:
+        raise ValueError(f"ECB input must be a multiple of {BLOCK_SIZE} bytes")
+    output: List[int] = []
+    for offset in range(0, len(data), BLOCK_SIZE):
+        output.extend(encrypt_block(data[offset : offset + BLOCK_SIZE], key))
+    return output
+
+
+def decrypt_ecb(ciphertext: Iterable[int], key: Sequence[int]) -> List[int]:
+    """Decrypt a multiple-of-16-byte ECB message."""
+    data = list(ciphertext)
+    if len(data) % BLOCK_SIZE != 0:
+        raise ValueError(f"ECB input must be a multiple of {BLOCK_SIZE} bytes")
+    output: List[int] = []
+    for offset in range(0, len(data), BLOCK_SIZE):
+        output.extend(decrypt_block(data[offset : offset + BLOCK_SIZE], key))
+    return output

@@ -1,0 +1,148 @@
+"""The four IPs of the paper's experiment (Section IV.A, Fig. 3).
+
+| IP   | FSM                  | watermark key |
+|------|----------------------|---------------|
+| IP_A | 8-bit binary counter | Kw1           |
+| IP_B | 8-bit Gray counter   | Kw1           |
+| IP_C | 8-bit Gray counter   | Kw2           |
+| IP_D | 8-bit Gray counter   | Kw3           |
+
+IP_A vs IP_B proves different FSMs with the *same* key are told apart;
+IP_B vs IP_C vs IP_D proves the same FSM with *different* keys does not
+collide.  Each IP is implemented twice: once as a reference device
+(RefD) and once as a device under test (DUT#1..#4) on a different
+"die" (independent process-variation draw), mirroring the paper's
+eight Cyclone III FPGAs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.acquisition.device import Device
+from repro.fsm.counters import build_binary_counter, build_gray_counter
+from repro.fsm.watermark import WatermarkedIP, attach_leakage_component
+from repro.hdl.netlist import Netlist
+from repro.power.models import PowerModel
+from repro.power.supply import WaveformConfig
+from repro.power.variation import DeviceVariation, VariationModel
+
+#: The watermark keys.  The paper picks Kw1 randomly; these are fixed
+#: arbitrary byte values so every run of the reproduction is identical.
+KW1 = 0x5A
+KW2 = 0xC3
+KW3 = 0x2F
+
+#: FSM width used throughout the paper's experiment.
+COUNTER_WIDTH = 8
+
+#: One full period of an 8-bit counter — the paper measures complete
+#: state-sequence periods.
+PERIOD_CYCLES = 1 << COUNTER_WIDTH
+
+#: IP name -> (fsm kind, watermark key).
+IP_SPECS: Dict[str, Tuple[str, int]] = {
+    "IP_A": ("binary", KW1),
+    "IP_B": ("gray", KW1),
+    "IP_C": ("gray", KW2),
+    "IP_D": ("gray", KW3),
+}
+
+#: DUT#y contains the same IP as the matching RefD (paper Section IV).
+DUT_CONTENTS: Dict[str, str] = {
+    "DUT#1": "IP_A",
+    "DUT#2": "IP_B",
+    "DUT#3": "IP_C",
+    "DUT#4": "IP_D",
+}
+
+#: RefD -> the DUT that contains its IP (ground truth of the experiment).
+EXPECTED_MATCHES: Dict[str, str] = {ip: dut for dut, ip in DUT_CONTENTS.items()}
+
+
+def build_ip(
+    name: str,
+    fsm_kind: str,
+    kw: Optional[int],
+    width: int = COUNTER_WIDTH,
+) -> WatermarkedIP:
+    """Construct one watermarked IP netlist.
+
+    ``kw=None`` builds the unwatermarked variant (no leakage
+    component) used by the E9 ablation.
+    """
+    netlist = Netlist(name)
+    if fsm_kind == "binary":
+        state_register = build_binary_counter(netlist, width)
+    elif fsm_kind == "gray":
+        state_register = build_gray_counter(netlist, width)
+    else:
+        raise ValueError(f"unknown FSM kind {fsm_kind!r}")
+    state_wire = netlist.wires["ctr_state"]
+    h_register = None
+    if kw is not None:
+        h_register = attach_leakage_component(netlist, state_wire, kw)
+    netlist.validate()
+    return WatermarkedIP(
+        name=name,
+        netlist=netlist,
+        state_register=state_register,
+        kw=kw,
+        fsm_kind=fsm_kind,
+        h_register=h_register,
+        description=f"{width}-bit {fsm_kind} counter"
+        + (f" + leakage component (Kw={kw:#04x})" if kw is not None else ""),
+    )
+
+
+def build_paper_ip(ip_name: str, watermarked: bool = True) -> WatermarkedIP:
+    """Build IP_A / IP_B / IP_C / IP_D per the paper's Fig. 3."""
+    if ip_name not in IP_SPECS:
+        raise KeyError(f"unknown IP {ip_name!r}; choose from {sorted(IP_SPECS)}")
+    fsm_kind, kw = IP_SPECS[ip_name]
+    return build_ip(ip_name, fsm_kind, kw if watermarked else None)
+
+
+def build_device_fleet(
+    power_model: Optional[PowerModel] = None,
+    variation_model: Optional[VariationModel] = None,
+    waveform: Optional[WaveformConfig] = None,
+    seed: int = 2014,
+    watermarked: bool = True,
+) -> Tuple[Dict[str, Device], Dict[str, Device]]:
+    """Manufacture the eight devices of the paper's experiment.
+
+    Returns ``(refds, duts)``: four reference devices named after their
+    IPs and four DUTs named ``DUT#1..4``.  Every device gets a fresh
+    netlist and an independent process-variation draw (pass
+    ``variation_model=None`` for the no-variation ablation).
+    """
+    model = power_model if power_model is not None else PowerModel()
+    rng = np.random.default_rng(seed)
+
+    def manufacture(device_name: str, ip_name: str) -> Device:
+        ip = build_paper_ip(ip_name, watermarked=watermarked)
+        # Re-label the netlist copy with the physical device name.
+        ip.netlist.name = device_name
+        if variation_model is None:
+            variation = DeviceVariation.nominal()
+        else:
+            component_names = [c.name for c in ip.netlist.components]
+            variation = variation_model.sample(component_names, rng)
+        return Device(
+            name=device_name,
+            ip=ip,
+            power_model=model,
+            variation=variation,
+            waveform=waveform,
+            default_cycles=PERIOD_CYCLES,
+        )
+
+    refds = {name: manufacture(name, name) for name in IP_SPECS}
+    duts = {
+        dut_name: manufacture(dut_name, ip_name)
+        for dut_name, ip_name in DUT_CONTENTS.items()
+    }
+    return refds, duts

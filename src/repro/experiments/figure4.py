@@ -1,0 +1,116 @@
+"""Figure 4: the sixteen correlation-coefficient sets.
+
+The paper plots, for each RefD (IP_A..IP_D), the m = 20 correlation
+coefficients against each of the four DUTs, concatenated on one axis
+(80 points per sub-figure).  The matching DUT's cluster sits highest
+and tightest.  This module produces the same series and an ASCII
+rendering for terminal inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.designs import EXPECTED_MATCHES
+from repro.experiments.runner import (
+    CampaignConfig,
+    CampaignOutcome,
+    DUT_ORDER,
+    REF_ORDER,
+    run_campaign,
+)
+
+
+@dataclass
+class SubFigure:
+    """One of the four Fig. 4 panels: C sets of one RefD vs all DUTs."""
+
+    ref_name: str
+    series: Dict[str, np.ndarray]
+
+    def concatenated(self) -> Tuple[np.ndarray, List[str]]:
+        """The 80-point series in DUT order plus per-point labels."""
+        values = np.concatenate([self.series[dut] for dut in DUT_ORDER])
+        labels = [dut for dut in DUT_ORDER for _ in self.series[dut]]
+        return values, labels
+
+    def matching_cluster_is_tightest(self) -> bool:
+        """The paper's visual claim: the match has the smallest spread."""
+        target = EXPECTED_MATCHES[self.ref_name]
+        spreads = {dut: float(np.var(c)) for dut, c in self.series.items()}
+        return min(spreads, key=lambda dut: spreads[dut]) == target
+
+    def matching_cluster_is_highest(self) -> bool:
+        """The match also has the highest mean cluster."""
+        target = EXPECTED_MATCHES[self.ref_name]
+        centers = {dut: float(np.mean(c)) for dut, c in self.series.items()}
+        return max(centers, key=lambda dut: centers[dut]) == target
+
+
+def figure4_panels(
+    config: Optional[CampaignConfig] = None,
+    outcome: Optional[CampaignOutcome] = None,
+) -> Dict[str, SubFigure]:
+    """Produce the four panels from a campaign (running one if needed)."""
+    result = outcome if outcome is not None else run_campaign(config)
+    panels: Dict[str, SubFigure] = {}
+    for ref in REF_ORDER:
+        panels[ref] = SubFigure(ref_name=ref, series=result.correlation_sets(ref))
+    return panels
+
+
+def render_panel_ascii(
+    panel: SubFigure,
+    height: int = 16,
+    lo: float = -0.2,
+    hi: float = 1.0,
+) -> str:
+    """ASCII scatter of one panel (correlation vs sample index).
+
+    Matches the paper's axes: y in [-0.2, 1.0], x is the concatenated
+    sample index 0..79; each DUT gets its own glyph.
+    """
+    if height < 4:
+        raise ValueError("height must be at least 4")
+    values, labels = panel.concatenated()
+    glyphs = {dut: glyph for dut, glyph in zip(DUT_ORDER, "1234")}
+    width = len(values)
+    grid = [[" "] * width for _ in range(height)]
+    for x, (value, label) in enumerate(zip(values, labels)):
+        clipped = min(max(value, lo), hi)
+        row = int(round((hi - clipped) / (hi - lo) * (height - 1)))
+        grid[row][x] = glyphs[label]
+    lines = [f"{panel.ref_name}  (y: {hi:+.1f} top .. {lo:+.1f} bottom)"]
+    for row_index, row in enumerate(grid):
+        y_value = hi - (hi - lo) * row_index / (height - 1)
+        lines.append(f"{y_value:+5.2f} |" + "".join(row))
+    lines.append(
+        "legend: " + ", ".join(f"{g}={d}" for d, g in glyphs.items())
+    )
+    return "\n".join(lines)
+
+
+def render_figure4(panels: Dict[str, SubFigure]) -> str:
+    """All four panels stacked, in the paper's order."""
+    return "\n\n".join(render_panel_ascii(panels[ref]) for ref in REF_ORDER)
+
+
+def figure4_shape_holds(panels: Dict[str, SubFigure]) -> bool:
+    """The paper's reading of Fig. 4: on every panel the matching DUT's
+    cluster is the tightest (variance view) and the highest (mean view)."""
+    return all(
+        panel.matching_cluster_is_tightest() and panel.matching_cluster_is_highest()
+        for panel in panels.values()
+    )
+
+
+__all__ = [
+    "SubFigure",
+    "figure4_panels",
+    "render_panel_ascii",
+    "render_figure4",
+    "figure4_shape_holds",
+]

@@ -1,0 +1,111 @@
+"""Figure 5: the trace-reuse probability curve ``f_alpha(m)``.
+
+The paper plots ``f_10(m)`` for m in [1, 50] with its asymptote
+``1 - (11/10) e^{-1/10}`` and a 5 % band, reading off that m around 17
+suffices; with the chosen (alpha, m) = (10, 20) the reuse probability
+is fixed at P(zeta) ~= 0.0045.  This module regenerates the curve, the
+derived quantities and an ASCII plot — all closed-form, no simulation
+(the Monte-Carlo cross-check lives in :mod:`repro.analysis.montecarlo`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.parameters import (
+    f_alpha_series,
+    minimal_m_near_limit,
+    reuse_probability,
+    reuse_probability_limit,
+)
+
+#: The paper's choices for this figure.
+PAPER_ALPHA = 10.0
+PAPER_M = 20
+PAPER_M_MAX = 50
+
+#: Values the paper reports (Section V.B).
+PAPER_P_ZETA_AT_M20 = 0.0045
+PAPER_MIN_M_AT_5PCT = 17
+
+
+@dataclass(frozen=True)
+class Figure5Data:
+    """Everything plotted in Fig. 5."""
+
+    alpha: float
+    series: List[Tuple[int, float]]
+    limit: float
+    min_m_within_5pct: int
+    p_zeta_at_paper_m: float
+
+
+def figure5_data(
+    alpha: float = PAPER_ALPHA, m_max: int = PAPER_M_MAX
+) -> Figure5Data:
+    """Compute the full Fig. 5 dataset."""
+    return Figure5Data(
+        alpha=alpha,
+        series=f_alpha_series(alpha, m_max),
+        limit=reuse_probability_limit(alpha),
+        min_m_within_5pct=minimal_m_near_limit(alpha, rel_tol=0.05),
+        p_zeta_at_paper_m=reuse_probability(alpha, PAPER_M),
+    )
+
+
+def render_figure5(data: Figure5Data, height: int = 14) -> str:
+    """ASCII rendering of the f_alpha(m) curve with its limit line."""
+    values = [p for _m, p in data.series]
+    lo = min(values)
+    hi = max(max(values), data.limit) * 1.02
+    span = hi - lo if hi > lo else 1.0
+    width = len(values)
+    grid = [[" "] * width for _ in range(height)]
+    limit_row = int(round((hi - data.limit) / span * (height - 1)))
+    for x in range(width):
+        if 0 <= limit_row < height:
+            grid[limit_row][x] = "-"
+    for x, value in enumerate(values):
+        row = int(round((hi - value) / span * (height - 1)))
+        grid[row][x] = "*"
+    lines = [
+        f"f_alpha(m) for alpha = {data.alpha:g}   "
+        f"limit = {data.limit:.6f}   m(5%) = {data.min_m_within_5pct}"
+    ]
+    for row_index, row in enumerate(grid):
+        y_value = hi - span * row_index / (height - 1)
+        lines.append(f"{y_value:.5f} |" + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append(f"          m = 1 .. {width}   (* curve, - limit)")
+    return "\n".join(lines)
+
+
+def figure5_shape_holds(data: Figure5Data, rel_tol_vs_paper: float = 0.15) -> bool:
+    """The figure's quantitative reads, within tolerance of the paper.
+
+    * ``P(zeta)`` at m = 20 is ~0.0045;
+    * the curve is increasing in m and below its limit;
+    * the 5 %-band m is near the paper's graphical read of 17.
+    """
+    p20_ok = (
+        abs(data.p_zeta_at_paper_m - PAPER_P_ZETA_AT_M20)
+        <= rel_tol_vs_paper * PAPER_P_ZETA_AT_M20
+    )
+    values = [p for _m, p in data.series]
+    increasing = all(b >= a for a, b in zip(values, values[1:]))
+    below_limit = all(value <= data.limit for value in values)
+    m_ok = abs(data.min_m_within_5pct - PAPER_MIN_M_AT_5PCT) <= 3
+    return p20_ok and increasing and below_limit and m_ok
+
+
+__all__ = [
+    "Figure5Data",
+    "figure5_data",
+    "render_figure5",
+    "figure5_shape_holds",
+    "PAPER_ALPHA",
+    "PAPER_M",
+    "PAPER_P_ZETA_AT_M20",
+    "PAPER_MIN_M_AT_5PCT",
+]

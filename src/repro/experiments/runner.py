@@ -1,0 +1,186 @@
+"""Full verification campaigns (the paper's Section IV experiment).
+
+A *campaign* measures the four reference devices (400 traces each) and
+the four DUTs (10 000 traces each), runs the correlation computation
+process for every RefD x DUT pair — sharing one ``A_RefD`` per row and
+one DUT trace set per column, exactly as in the paper — and returns
+the 16 correlation sets with all distinguisher verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.acquisition.bench import MeasurementBench
+from repro.acquisition.oscilloscope import ADCConfig, Oscilloscope
+from repro.core.distinguishers import Distinguisher, PAPER_DISTINGUISHERS
+from repro.core.process import ProcessParameters
+from repro.core.verification import VerificationReport, WatermarkVerifier
+from repro.experiments.designs import (
+    DUT_CONTENTS,
+    EXPECTED_MATCHES,
+    build_device_fleet,
+)
+from repro.power.models import PowerModel
+from repro.power.noise import NoiseModel
+from repro.power.supply import WaveformConfig
+from repro.power.variation import VariationModel
+
+#: Presentation order of the DUT columns.
+DUT_ORDER: Tuple[str, ...] = ("DUT#1", "DUT#2", "DUT#3", "DUT#4")
+
+#: Presentation order of the RefD rows.
+REF_ORDER: Tuple[str, ...] = ("IP_A", "IP_B", "IP_C", "IP_D")
+
+
+@dataclass
+class CampaignConfig:
+    """Everything needed to run one campaign reproducibly."""
+
+    parameters: ProcessParameters = field(default_factory=ProcessParameters)
+    noise: NoiseModel = field(default_factory=NoiseModel)
+    power_model: PowerModel = field(default_factory=PowerModel)
+    waveform: Optional[WaveformConfig] = None
+    variation: Optional[VariationModel] = field(default_factory=VariationModel)
+    adc: Optional[ADCConfig] = field(default_factory=ADCConfig)
+    distinguishers: Sequence[Distinguisher] = PAPER_DISTINGUISHERS
+    fleet_seed: int = 2014
+    measurement_seed: int = 42
+    analysis_seed: int = 7
+    watermarked: bool = True
+    single_reference: bool = True
+
+
+@dataclass
+class CampaignOutcome:
+    """All artefacts of one campaign."""
+
+    config: CampaignConfig
+    reports: Dict[str, VerificationReport]
+    dut_order: Tuple[str, ...] = DUT_ORDER
+    ref_order: Tuple[str, ...] = REF_ORDER
+
+    @property
+    def means(self) -> Dict[str, Dict[str, float]]:
+        """Table I matrix: ``means[ref][dut]``."""
+        return {ref: self.reports[ref].means for ref in self.ref_order}
+
+    @property
+    def variances(self) -> Dict[str, Dict[str, float]]:
+        """Table II matrix: ``variances[ref][dut]``."""
+        return {ref: self.reports[ref].variances for ref in self.ref_order}
+
+    def correlation_sets(self, ref: str) -> Dict[str, np.ndarray]:
+        """The four C sets of one RefD (one Fig. 4 sub-figure)."""
+        return {
+            dut: self.reports[ref].results[dut].coefficients
+            for dut in self.dut_order
+        }
+
+    def verdict_matrix(self) -> Dict[str, Dict[str, str]]:
+        """``verdicts[ref][distinguisher] = chosen DUT``."""
+        return {
+            ref: {v.distinguisher: v.chosen_dut for v in self.reports[ref].verdicts}
+            for ref in self.ref_order
+        }
+
+    def accuracy(self, distinguisher_name: str) -> float:
+        """Fraction of rows where a distinguisher found the right DUT."""
+        correct = 0
+        for ref in self.ref_order:
+            verdict = self.reports[ref].verdict_of(distinguisher_name)
+            if verdict.chosen_dut == EXPECTED_MATCHES[ref]:
+                correct += 1
+        return correct / len(self.ref_order)
+
+    def confidence_distances(self, distinguisher_name: str) -> Dict[str, float]:
+        """Per-row confidence distance of one distinguisher."""
+        return {
+            ref: self.reports[ref].verdict_of(distinguisher_name).confidence_percent
+            for ref in self.ref_order
+        }
+
+    @property
+    def all_correct(self) -> bool:
+        """True when every distinguisher identifies every row correctly."""
+        return all(
+            self.accuracy(d.name) == 1.0 for d in self.config.distinguishers
+        )
+
+
+def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignOutcome:
+    """Run the paper's full 4x4 verification campaign."""
+    cfg = config if config is not None else CampaignConfig()
+    refds, duts = build_device_fleet(
+        power_model=cfg.power_model,
+        variation_model=cfg.variation,
+        waveform=cfg.waveform,
+        seed=cfg.fleet_seed,
+        watermarked=cfg.watermarked,
+    )
+    bench = MeasurementBench(
+        Oscilloscope(cfg.noise, cfg.adc), seed=cfg.measurement_seed
+    )
+    p = cfg.parameters
+    t_duts = {name: bench.measure(duts[name], p.n2) for name in DUT_ORDER}
+    verifier = WatermarkVerifier(
+        parameters=p,
+        distinguishers=cfg.distinguishers,
+        single_reference=cfg.single_reference,
+    )
+    analysis_rng = np.random.default_rng(cfg.analysis_seed)
+    reports: Dict[str, VerificationReport] = {}
+    for ref_name in REF_ORDER:
+        t_ref = bench.measure(refds[ref_name], p.n1)
+        reports[ref_name] = verifier.identify(t_ref, t_duts, rng=analysis_rng)
+    return CampaignOutcome(config=cfg, reports=reports)
+
+
+def repeated_accuracy(
+    base_config: Optional[CampaignConfig] = None,
+    n_repeats: int = 5,
+    distinguisher_names: Sequence[str] = ("higher-mean", "lower-variance"),
+) -> Dict[str, float]:
+    """Identification accuracy over repeated campaigns (E10).
+
+    Re-seeds measurement and analysis per repeat while keeping the same
+    manufactured fleet, i.e. repeats the lab session on the same chips.
+    """
+    if n_repeats <= 0:
+        raise ValueError("n_repeats must be positive")
+    cfg = base_config if base_config is not None else CampaignConfig()
+    totals = {name: 0.0 for name in distinguisher_names}
+    for repeat in range(n_repeats):
+        repeat_cfg = CampaignConfig(
+            parameters=cfg.parameters,
+            noise=cfg.noise,
+            power_model=cfg.power_model,
+            waveform=cfg.waveform,
+            variation=cfg.variation,
+            adc=cfg.adc,
+            distinguishers=cfg.distinguishers,
+            fleet_seed=cfg.fleet_seed,
+            measurement_seed=cfg.measurement_seed + 1000 * (repeat + 1),
+            analysis_seed=cfg.analysis_seed + 1000 * (repeat + 1),
+            watermarked=cfg.watermarked,
+            single_reference=cfg.single_reference,
+        )
+        outcome = run_campaign(repeat_cfg)
+        for name in distinguisher_names:
+            totals[name] += outcome.accuracy(name)
+    return {name: total / n_repeats for name, total in totals.items()}
+
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignOutcome",
+    "run_campaign",
+    "repeated_accuracy",
+    "DUT_ORDER",
+    "REF_ORDER",
+    "DUT_CONTENTS",
+    "EXPECTED_MATCHES",
+]

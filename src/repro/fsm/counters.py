@@ -1,0 +1,187 @@
+"""Counter FSMs and their netlist realisations.
+
+The paper's evaluation deliberately uses the *worst case* FSMs for a
+power side channel: 8-bit binary and Gray counters ("extremely linear,
+cyclic and the amount of information leaked by the power consumption
+signal is limited").  This module provides both the abstract machines
+(for analysis) and synthesisable netlists (for power simulation).
+
+The Gray counter is realised the standard way — an internal binary
+counter plus a binary-to-Gray converter on the state output — so its
+power signature still contains the binary carry-ripple pattern, shared
+with the plain binary counter.  That shared component is what produces
+the high cross-correlations between different IPs in the paper's
+Table I.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from typing import Sequence
+
+from repro.fsm.encoding import gray_encode, johnson_sequence
+from repro.fsm.machine import MooreMachine
+from repro.hdl.combinational import BinaryToGray, Incrementer, LookupLogic
+from repro.hdl.io import ClockTree
+from repro.hdl.netlist import Netlist
+from repro.hdl.register import DRegister
+from repro.hdl.wires import mask
+
+#: Clock-tree load charged per register bit (buffer fan-out model).
+CLOCK_LOAD_PER_BIT = 1.5
+
+
+def binary_counter_machine(width: int) -> MooreMachine:
+    """Abstract ``width``-bit binary counter (period ``2**width``)."""
+    n = 1 << width
+    states = range(n)
+    transitions = {i: (i + 1) % n for i in states}
+    outputs = {i: i for i in states}
+    return MooreMachine(states, transitions, 0, outputs)
+
+
+def gray_counter_machine(width: int) -> MooreMachine:
+    """Abstract ``width``-bit Gray counter over Gray-coded states."""
+    n = 1 << width
+    codes = [gray_encode(i, width) for i in range(n)]
+    transitions = {codes[i]: codes[(i + 1) % n] for i in range(n)}
+    outputs = {code: code for code in codes}
+    return MooreMachine(codes, transitions, codes[0], outputs)
+
+
+def johnson_counter_machine(width: int) -> MooreMachine:
+    """Abstract ``width``-bit Johnson counter (period ``2 * width``)."""
+    codes = johnson_sequence(width)
+    transitions = {codes[i]: codes[(i + 1) % len(codes)] for i in range(len(codes))}
+    outputs = {code: code for code in codes}
+    return MooreMachine(codes, transitions, codes[0], outputs)
+
+
+def lfsr_machine(width: int, taps: List[int], seed: int = 1) -> MooreMachine:
+    """Fibonacci LFSR as a Moore machine.
+
+    ``taps`` lists the bit positions (LSB = 0) XORed into the feedback.
+    A maximal-length tap set yields period ``2**width - 1``; state 0 is
+    a fixed point and must not be used as the seed.
+    """
+    if seed == 0:
+        raise ValueError("LFSR seed must be non-zero (0 is a fixed point)")
+    if not 0 < seed <= mask(width):
+        raise ValueError(f"seed {seed} does not fit in {width} bits")
+    for tap in taps:
+        if not 0 <= tap < width:
+            raise ValueError(f"tap {tap} out of range for width {width}")
+
+    def step(state: int) -> int:
+        feedback = 0
+        for tap in taps:
+            feedback ^= (state >> tap) & 1
+        return ((state << 1) | feedback) & mask(width)
+
+    states = set()
+    state = seed
+    while state not in states:
+        states.add(state)
+        state = step(state)
+    ordered = sorted(states)
+    transitions = {s: step(s) for s in ordered}
+    outputs = {s: s for s in ordered}
+    return MooreMachine(ordered, transitions, seed, outputs)
+
+
+def build_binary_counter(netlist: Netlist, width: int, prefix: str = "ctr") -> DRegister:
+    """Add an incrementing binary counter to ``netlist``.
+
+    Returns the state register; its Q wire (named ``{prefix}_state``)
+    carries the counter value and is the hook point for the watermark
+    leakage component.
+    """
+    state = netlist.wire(f"{prefix}_state", width)
+    next_state = netlist.wire(f"{prefix}_next", width)
+    netlist.add(Incrementer(f"{prefix}_inc", state, next_state))
+    register = DRegister(f"{prefix}_reg", next_state, state)
+    netlist.add(register)
+    netlist.add(ClockTree(f"{prefix}_clk", CLOCK_LOAD_PER_BIT * width))
+    return register
+
+
+def build_johnson_counter(
+    netlist: Netlist, width: int, prefix: str = "ctr"
+) -> DRegister:
+    """Add a Johnson (twisted-ring) counter: shift left, feed back the
+    inverted MSB.  Period ``2 * width``; exactly one bit toggles per
+    cycle, like a Gray counter."""
+    state = netlist.wire(f"{prefix}_state", width)
+    next_state = netlist.wire(f"{prefix}_next", width)
+
+    def twist(value: int) -> int:
+        msb = (value >> (width - 1)) & 1
+        return ((value << 1) | (msb ^ 1)) & mask(width)
+
+    netlist.add(
+        LookupLogic(f"{prefix}_twist", (state,), next_state, twist, glitch_factor=0.1)
+    )
+    register = DRegister(f"{prefix}_reg", next_state, state)
+    netlist.add(register)
+    netlist.add(ClockTree(f"{prefix}_clk", CLOCK_LOAD_PER_BIT * width))
+    return register
+
+
+def build_lfsr(
+    netlist: Netlist,
+    width: int,
+    taps: Sequence[int],
+    seed: int = 1,
+    prefix: str = "ctr",
+) -> DRegister:
+    """Add a Fibonacci LFSR (shift left, XOR feedback from ``taps``).
+
+    An LFSR is the opposite extreme from a counter: its state register
+    switches pseudo-randomly, making it an *easy* case for the power
+    side channel — useful as a contrast workload in experiments.
+    """
+    if seed == 0 or not 0 < seed <= mask(width):
+        raise ValueError(f"seed must be a non-zero {width}-bit value")
+    for tap in taps:
+        if not 0 <= tap < width:
+            raise ValueError(f"tap {tap} out of range for width {width}")
+    state = netlist.wire(f"{prefix}_state", width, seed)
+    next_state = netlist.wire(f"{prefix}_next", width)
+    tap_tuple = tuple(taps)
+
+    def step(value: int) -> int:
+        feedback = 0
+        for tap in tap_tuple:
+            feedback ^= (value >> tap) & 1
+        return ((value << 1) | feedback) & mask(width)
+
+    netlist.add(
+        LookupLogic(f"{prefix}_fb", (state,), next_state, step, glitch_factor=0.3)
+    )
+    register = DRegister(f"{prefix}_reg", next_state, state, reset_value=seed)
+    netlist.add(register)
+    netlist.add(ClockTree(f"{prefix}_clk", CLOCK_LOAD_PER_BIT * width))
+    return register
+
+
+def build_gray_counter(netlist: Netlist, width: int, prefix: str = "ctr") -> DRegister:
+    """Add a Gray counter (internal binary counter + converter).
+
+    The externally visible state wire ``{prefix}_state`` carries the
+    Gray code; the internal binary register still ripples, exactly as
+    in the common FPGA realisation.
+    """
+    binary = netlist.wire(f"{prefix}_binary", width)
+    next_binary = netlist.wire(f"{prefix}_binary_next", width)
+    gray_next = netlist.wire(f"{prefix}_gray_next", width)
+    state = netlist.wire(f"{prefix}_state", width)
+
+    netlist.add(Incrementer(f"{prefix}_inc", binary, next_binary))
+    binary_register = DRegister(f"{prefix}_binreg", next_binary, binary)
+    netlist.add(binary_register)
+    netlist.add(BinaryToGray(f"{prefix}_b2g", next_binary, gray_next))
+    gray_register = DRegister(f"{prefix}_reg", gray_next, state)
+    netlist.add(gray_register)
+    netlist.add(ClockTree(f"{prefix}_clk", CLOCK_LOAD_PER_BIT * 2 * width))
+    return gray_register

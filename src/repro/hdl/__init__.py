@@ -1,0 +1,80 @@
+"""Digital-logic substrate: wires, components, netlists and a
+cycle-accurate simulator that records per-component switching activity.
+
+This package stands in for the paper's Altera Cyclone III FPGAs: the
+verification scheme only consumes switching activity, which the
+simulator records exactly.
+"""
+
+from repro.hdl.activity import ActivityTrace, Channel
+from repro.hdl.combinational import (
+    BinaryToGray,
+    Constant,
+    GrayToBinary,
+    Incrementer,
+    LookupLogic,
+    Mux2,
+    TransitionTable,
+    XorArray,
+)
+from repro.hdl.component import (
+    ACTIVITY_KINDS,
+    ActivityEvent,
+    CombinationalComponent,
+    Component,
+    KIND_CLOCK,
+    KIND_COMB,
+    KIND_IO,
+    KIND_RAM,
+    KIND_REGISTER,
+    SequentialComponent,
+)
+from repro.hdl.io import ClockTree, InputPort, OutputPort
+from repro.hdl.memory import SyncROM
+from repro.hdl.netlist import Netlist, NetlistError
+from repro.hdl.register import DRegister
+from repro.hdl.simulator import Simulator
+from repro.hdl.vcd import record_vcd, write_vcd
+from repro.hdl.verilog import VerilogExportError, export_testbench, export_verilog
+from repro.hdl.wires import Wire, bit, hamming_distance, hamming_weight, mask
+
+__all__ = [
+    "ActivityTrace",
+    "Channel",
+    "ActivityEvent",
+    "ACTIVITY_KINDS",
+    "KIND_REGISTER",
+    "KIND_COMB",
+    "KIND_RAM",
+    "KIND_IO",
+    "KIND_CLOCK",
+    "Component",
+    "CombinationalComponent",
+    "SequentialComponent",
+    "Constant",
+    "XorArray",
+    "Incrementer",
+    "BinaryToGray",
+    "GrayToBinary",
+    "Mux2",
+    "LookupLogic",
+    "TransitionTable",
+    "DRegister",
+    "SyncROM",
+    "OutputPort",
+    "InputPort",
+    "ClockTree",
+    "Netlist",
+    "NetlistError",
+    "Simulator",
+    "export_verilog",
+    "export_testbench",
+    "VerilogExportError",
+    "record_vcd",
+    "write_vcd",
+    "Wire",
+    "bit",
+    "mask",
+    "hamming_weight",
+    "hamming_distance",
+]

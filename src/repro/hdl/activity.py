@@ -1,0 +1,99 @@
+"""Switching-activity traces recorded by the simulator.
+
+An :class:`ActivityTrace` is a ``(n_cycles, n_channels)`` matrix of
+toggle counts plus channel metadata ``(component name, activity kind)``.
+It is the interface between the logic substrate and the power model:
+on a real FPGA the oscilloscope integrates exactly these switching
+events through the chip's capacitances and the power-delivery network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.hdl.component import ACTIVITY_KINDS
+
+
+@dataclass(frozen=True)
+class Channel:
+    """Identity of one activity channel."""
+
+    component: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ACTIVITY_KINDS:
+            raise ValueError(f"unknown activity kind {self.kind!r}")
+
+
+class ActivityTrace:
+    """Per-cycle, per-channel switching activity of one simulation run."""
+
+    def __init__(self, channels: Sequence[Channel], matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError(f"activity matrix must be 2-D, got shape {matrix.shape}")
+        if matrix.shape[1] != len(channels):
+            raise ValueError(
+                f"matrix has {matrix.shape[1]} columns but "
+                f"{len(channels)} channels were declared"
+            )
+        if np.any(matrix < 0):
+            raise ValueError("activity counts must be non-negative")
+        self.channels: Tuple[Channel, ...] = tuple(channels)
+        self.matrix = matrix
+
+    @property
+    def n_cycles(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def n_channels(self) -> int:
+        return self.matrix.shape[1]
+
+    def channel_index(self, component: str) -> int:
+        """Index of the (unique) channel belonging to ``component``."""
+        for index, channel in enumerate(self.channels):
+            if channel.component == component:
+                return index
+        raise KeyError(f"no activity channel for component {component!r}")
+
+    def component_series(self, component: str) -> np.ndarray:
+        """Per-cycle activity of one component."""
+        return self.matrix[:, self.channel_index(component)].copy()
+
+    def kind_series(self, kind: str) -> np.ndarray:
+        """Per-cycle activity summed over all channels of one kind."""
+        if kind not in ACTIVITY_KINDS:
+            raise ValueError(f"unknown activity kind {kind!r}")
+        columns = [i for i, c in enumerate(self.channels) if c.kind == kind]
+        if not columns:
+            return np.zeros(self.n_cycles)
+        return self.matrix[:, columns].sum(axis=1)
+
+    def total_series(self) -> np.ndarray:
+        """Per-cycle activity summed over every channel (unweighted)."""
+        return self.matrix.sum(axis=1)
+
+    def weighted_series(self, weights: Sequence[float]) -> np.ndarray:
+        """Per-cycle activity with one weight per channel."""
+        weight_vector = np.asarray(weights, dtype=float)
+        if weight_vector.shape != (self.n_channels,):
+            raise ValueError(
+                f"expected {self.n_channels} weights, got {weight_vector.shape}"
+            )
+        return self.matrix @ weight_vector
+
+    def kinds(self) -> List[str]:
+        """Distinct activity kinds present, in channel order."""
+        seen: List[str] = []
+        for channel in self.channels:
+            if channel.kind not in seen:
+                seen.append(channel.kind)
+        return seen
+
+    def __repr__(self) -> str:
+        return f"ActivityTrace(cycles={self.n_cycles}, channels={self.n_channels})"

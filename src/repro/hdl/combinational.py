@@ -1,0 +1,303 @@
+"""Combinational building blocks: constants, XOR arrays, incrementers,
+Gray-code converters, multiplexers and table-driven logic.
+
+Each block records its own switching activity.  Where a block has a
+well-known internal structure (the ripple-carry chain of an
+incrementer, the XOR ladder of a Gray converter) the activity model
+accounts for the internal nodes, not just the output bus — the carry
+chain of a binary counter is precisely the strong, shared, time-varying
+power component that makes different devices with the same counter
+correlate in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.hdl.component import (
+    ActivityEvent,
+    CombinationalComponent,
+    KIND_COMB,
+)
+from repro.hdl.wires import Wire, hamming_distance, mask
+
+
+class Constant(CombinationalComponent):
+    """Drives a wire with a fixed value (e.g. the watermark key Kw)."""
+
+    def __init__(self, name: str, output: Wire, value: int):
+        super().__init__(name)
+        if not 0 <= value <= mask(output.width):
+            raise ValueError(
+                f"{name}: constant {value} does not fit in {output.width} bits"
+            )
+        self.output = output
+        self.value = value
+
+    @property
+    def output_wires(self) -> Sequence[Wire]:
+        return (self.output,)
+
+    def evaluate(self) -> None:
+        self.output.drive(self.value)
+
+    def activity(self) -> List[ActivityEvent]:
+        return []
+
+
+class XorArray(CombinationalComponent):
+    """Bitwise XOR of two equal-width buses (state ⊕ Kw in the paper)."""
+
+    def __init__(self, name: str, a: Wire, b: Wire, output: Wire):
+        super().__init__(name)
+        if not a.width == b.width == output.width:
+            raise ValueError(
+                f"{name}: XOR operand widths differ "
+                f"({a.width}, {b.width}, {output.width})"
+            )
+        self.a = a
+        self.b = b
+        self.output = output
+
+    @property
+    def input_wires(self) -> Sequence[Wire]:
+        return (self.a, self.b)
+
+    @property
+    def output_wires(self) -> Sequence[Wire]:
+        return (self.output,)
+
+    def evaluate(self) -> None:
+        self.output.drive(self.a.value ^ self.b.value)
+
+    def activity(self) -> List[ActivityEvent]:
+        return [ActivityEvent(self.name, KIND_COMB, float(self.output.toggles()))]
+
+
+class Incrementer(CombinationalComponent):
+    """``output = (a + 1) mod 2^width`` with a ripple-carry activity model.
+
+    On an increment, the bits that toggle are the trailing ones plus the
+    first zero — the length of the carry ripple.  Internal carry nodes
+    toggle alongside the sum bits, so the activity is modelled as twice
+    the ripple length (sum node + carry node per position).
+    """
+
+    def __init__(self, name: str, a: Wire, output: Wire):
+        super().__init__(name)
+        if a.width != output.width:
+            raise ValueError(f"{name}: width mismatch ({a.width} vs {output.width})")
+        self.a = a
+        self.output = output
+
+    @property
+    def input_wires(self) -> Sequence[Wire]:
+        return (self.a,)
+
+    @property
+    def output_wires(self) -> Sequence[Wire]:
+        return (self.output,)
+
+    def evaluate(self) -> None:
+        self.output.drive((self.a.value + 1) & mask(self.a.width))
+
+    def carry_ripple_length(self) -> int:
+        """Number of bit positions the carry propagates through."""
+        ripple = 1
+        value = self.a.value
+        while value & 1 and ripple < self.a.width:
+            ripple += 1
+            value >>= 1
+        return ripple
+
+    def activity(self) -> List[ActivityEvent]:
+        ripple = self.carry_ripple_length()
+        output_toggles = self.output.toggles()
+        return [
+            ActivityEvent(self.name, KIND_COMB, float(output_toggles + 2 * ripple)),
+        ]
+
+
+class BinaryToGray(CombinationalComponent):
+    """Gray encoding: ``output = a ^ (a >> 1)``."""
+
+    def __init__(self, name: str, a: Wire, output: Wire):
+        super().__init__(name)
+        if a.width != output.width:
+            raise ValueError(f"{name}: width mismatch ({a.width} vs {output.width})")
+        self.a = a
+        self.output = output
+
+    @property
+    def input_wires(self) -> Sequence[Wire]:
+        return (self.a,)
+
+    @property
+    def output_wires(self) -> Sequence[Wire]:
+        return (self.output,)
+
+    def evaluate(self) -> None:
+        self.output.drive(self.a.value ^ (self.a.value >> 1))
+
+    def activity(self) -> List[ActivityEvent]:
+        input_toggles = hamming_distance(self.a.value, self.a.previous)
+        output_toggles = self.output.toggles()
+        return [
+            ActivityEvent(self.name, KIND_COMB, float(input_toggles + output_toggles))
+        ]
+
+
+class GrayToBinary(CombinationalComponent):
+    """Inverse Gray encoding via the prefix-XOR ladder."""
+
+    def __init__(self, name: str, a: Wire, output: Wire):
+        super().__init__(name)
+        if a.width != output.width:
+            raise ValueError(f"{name}: width mismatch ({a.width} vs {output.width})")
+        self.a = a
+        self.output = output
+
+    @property
+    def input_wires(self) -> Sequence[Wire]:
+        return (self.a,)
+
+    @property
+    def output_wires(self) -> Sequence[Wire]:
+        return (self.output,)
+
+    def evaluate(self) -> None:
+        value = self.a.value
+        shift = self.a.width // 2
+        while shift:
+            value ^= value >> shift
+            shift //= 2
+        # The loop above works for power-of-two widths; finish bit-serially
+        # to stay correct for arbitrary widths.
+        binary = 0
+        acc = 0
+        for index in range(self.a.width - 1, -1, -1):
+            acc ^= (self.a.value >> index) & 1
+            binary |= acc << index
+        self.output.drive(binary)
+
+    def activity(self) -> List[ActivityEvent]:
+        # The XOR ladder has roughly one internal node per bit.
+        input_toggles = hamming_distance(self.a.value, self.a.previous)
+        output_toggles = self.output.toggles()
+        return [
+            ActivityEvent(self.name, KIND_COMB, float(input_toggles + output_toggles))
+        ]
+
+
+class Mux2(CombinationalComponent):
+    """Two-way multiplexer: ``output = a if select == 0 else b``."""
+
+    def __init__(self, name: str, select: Wire, a: Wire, b: Wire, output: Wire):
+        super().__init__(name)
+        if select.width != 1:
+            raise ValueError(f"{name}: select must be 1 bit wide")
+        if not a.width == b.width == output.width:
+            raise ValueError(f"{name}: data widths differ")
+        self.select = select
+        self.a = a
+        self.b = b
+        self.output = output
+
+    @property
+    def input_wires(self) -> Sequence[Wire]:
+        return (self.select, self.a, self.b)
+
+    @property
+    def output_wires(self) -> Sequence[Wire]:
+        return (self.output,)
+
+    def evaluate(self) -> None:
+        self.output.drive(self.b.value if self.select.value else self.a.value)
+
+    def activity(self) -> List[ActivityEvent]:
+        return [ActivityEvent(self.name, KIND_COMB, float(self.output.toggles()))]
+
+
+class LookupLogic(CombinationalComponent):
+    """Arbitrary combinational function given as a Python callable.
+
+    Used for generic FSM next-state logic synthesised from a transition
+    table.  The activity model charges the output toggles plus a
+    configurable per-evaluation glitch factor proportional to the input
+    toggles (wide random logic glitches more than a tidy XOR array).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[Wire],
+        output: Wire,
+        function: Callable[..., int],
+        glitch_factor: float = 0.5,
+    ):
+        super().__init__(name)
+        if not inputs:
+            raise ValueError(f"{name}: LookupLogic needs at least one input")
+        if glitch_factor < 0:
+            raise ValueError(f"{name}: glitch factor must be non-negative")
+        self._inputs = tuple(inputs)
+        self.output = output
+        self.function = function
+        self.glitch_factor = glitch_factor
+
+    @property
+    def input_wires(self) -> Sequence[Wire]:
+        return self._inputs
+
+    @property
+    def output_wires(self) -> Sequence[Wire]:
+        return (self.output,)
+
+    def evaluate(self) -> None:
+        self.output.drive(self.function(*(wire.value for wire in self._inputs)))
+
+    def activity(self) -> List[ActivityEvent]:
+        input_toggles = sum(
+            hamming_distance(wire.value, wire.previous) for wire in self._inputs
+        )
+        amount = self.output.toggles() + self.glitch_factor * input_toggles
+        return [ActivityEvent(self.name, KIND_COMB, float(amount))]
+
+
+class TransitionTable(CombinationalComponent):
+    """Next-state logic from an explicit code-to-code mapping.
+
+    The mapping must be total over the reachable codes; unknown codes
+    raise at simulation time, which catches encoding bugs early.
+    """
+
+    def __init__(self, name: str, state: Wire, next_state: Wire, table: Dict[int, int]):
+        super().__init__(name)
+        if state.width != next_state.width:
+            raise ValueError(f"{name}: state width mismatch")
+        if not table:
+            raise ValueError(f"{name}: transition table is empty")
+        self.state = state
+        self.next_state = next_state
+        self.table = dict(table)
+
+    @property
+    def input_wires(self) -> Sequence[Wire]:
+        return (self.state,)
+
+    @property
+    def output_wires(self) -> Sequence[Wire]:
+        return (self.next_state,)
+
+    def evaluate(self) -> None:
+        code = self.state.value
+        if code not in self.table:
+            raise KeyError(
+                f"{self.name}: state code {code:#x} has no transition entry"
+            )
+        self.next_state.drive(self.table[code])
+
+    def activity(self) -> List[ActivityEvent]:
+        input_toggles = hamming_distance(self.state.value, self.state.previous)
+        amount = self.next_state.toggles() + 0.5 * input_toggles
+        return [ActivityEvent(self.name, KIND_COMB, float(amount))]

@@ -1,0 +1,101 @@
+"""Base classes for netlist components.
+
+The substrate distinguishes combinational components (outputs are a
+pure function of the inputs, re-evaluated every cycle) from sequential
+components (state elements updated at the clock edge).  Every component
+reports its per-cycle switching activity as a list of
+:class:`ActivityEvent` records, tagged with an *activity kind* that the
+power model later maps to a weight (registers, combinational logic,
+RAM ports and I/O pads have very different switched capacitance on a
+real die).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.hdl.wires import Wire
+
+#: Activity kinds understood by the power model.
+KIND_REGISTER = "register"
+KIND_COMB = "comb"
+KIND_RAM = "ram"
+KIND_IO = "io"
+KIND_CLOCK = "clock"
+
+ACTIVITY_KINDS = (KIND_REGISTER, KIND_COMB, KIND_RAM, KIND_IO, KIND_CLOCK)
+
+
+@dataclass(frozen=True)
+class ActivityEvent:
+    """One switching-activity contribution for the current cycle.
+
+    ``amount`` is a (possibly fractional) toggle count — e.g. the
+    Hamming distance of a register bank between consecutive cycles, or
+    a glitch-model estimate for a combinational block.
+    """
+
+    component: str
+    kind: str
+    amount: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ACTIVITY_KINDS:
+            raise ValueError(f"unknown activity kind {self.kind!r}")
+        if self.amount < 0:
+            raise ValueError(f"activity amount must be non-negative, got {self.amount}")
+
+
+class Component:
+    """Common behaviour for all netlist components."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("component name must be non-empty")
+        self.name = name
+
+    @property
+    def input_wires(self) -> Sequence[Wire]:
+        """Wires this component reads; used for topological ordering."""
+        return ()
+
+    @property
+    def output_wires(self) -> Sequence[Wire]:
+        """Wires this component drives; used for topological ordering."""
+        return ()
+
+    def reset(self) -> None:
+        """Return the component to its power-on state."""
+
+    def activity(self) -> List[ActivityEvent]:
+        """Switching activity contributed during the current cycle."""
+        return []
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class CombinationalComponent(Component):
+    """A component whose outputs are a pure function of its inputs."""
+
+    def evaluate(self) -> None:
+        """Recompute output wires from input wires."""
+        raise NotImplementedError
+
+
+class SequentialComponent(Component):
+    """A clocked component with internal state.
+
+    The simulator calls :meth:`capture` after all combinational logic
+    has settled (sampling the D inputs) and then :meth:`commit` to
+    expose the new state, modelling a single synchronous clock edge.
+    """
+
+    def capture(self) -> None:
+        """Sample inputs at the clock edge (do not expose new state yet)."""
+        raise NotImplementedError
+
+    def commit(self) -> None:
+        """Expose the state captured at the last clock edge."""
+        raise NotImplementedError

@@ -1,0 +1,91 @@
+"""I/O and clock-distribution components.
+
+Output pads drive off-chip capacitance an order of magnitude larger
+than internal nodes, so the 8-bit output ``H`` of the leakage component
+is a loud, key-dependent contributor to the power trace.  The clock
+tree contributes a large, data-independent pulse every cycle — the
+common-mode component shared by every device, which is why even
+unrelated IPs show non-zero correlation in the paper's Fig. 4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.hdl.component import (
+    ActivityEvent,
+    CombinationalComponent,
+    Component,
+    KIND_CLOCK,
+    KIND_IO,
+)
+from repro.hdl.wires import Wire
+
+
+class OutputPort(CombinationalComponent):
+    """Output pads mirroring an internal wire to the outside world."""
+
+    def __init__(self, name: str, source: Wire):
+        super().__init__(name)
+        self.source = source
+
+    @property
+    def input_wires(self) -> Sequence[Wire]:
+        return (self.source,)
+
+    def evaluate(self) -> None:
+        # Pads simply follow their source wire; no internal wire to drive.
+        return None
+
+    def activity(self) -> List[ActivityEvent]:
+        return [ActivityEvent(self.name, KIND_IO, float(self.source.toggles()))]
+
+
+class InputPort(CombinationalComponent):
+    """Input pads driving an internal wire from an external stimulus.
+
+    The stimulus is a Python callable of the cycle index; the paper's
+    designs are input-independent, so the default stimulus is constant.
+    """
+
+    def __init__(self, name: str, target: Wire, stimulus=None):
+        super().__init__(name)
+        self.target = target
+        self.stimulus = stimulus if stimulus is not None else (lambda cycle: 0)
+        self._cycle = 0
+
+    @property
+    def output_wires(self) -> Sequence[Wire]:
+        return (self.target,)
+
+    def reset(self) -> None:
+        self._cycle = 0
+
+    def advance_cycle(self) -> None:
+        """Move to the next stimulus cycle (called by the simulator)."""
+        self._cycle += 1
+
+    def evaluate(self) -> None:
+        self.target.drive(self.stimulus(self._cycle))
+
+    def activity(self) -> List[ActivityEvent]:
+        return [ActivityEvent(self.name, KIND_IO, float(self.target.toggles()))]
+
+
+class ClockTree(Component):
+    """The clock-distribution network.
+
+    Every cycle the clock tree charges and discharges its full buffer
+    capacitance regardless of data, contributing ``load`` units of
+    activity.  ``load`` scales with how many flip-flops the design
+    clocks.
+    """
+
+    def __init__(self, name: str, load: float):
+        super().__init__(name)
+        if load < 0:
+            raise ValueError(f"{name}: clock load must be non-negative")
+        self.load = load
+
+    def activity(self) -> List[ActivityEvent]:
+        return [ActivityEvent(self.name, KIND_CLOCK, float(self.load))]

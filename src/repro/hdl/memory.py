@@ -1,0 +1,72 @@
+"""Memory blocks: the synchronous ROM holding the AES SBox.
+
+The paper implements the substitution table "in memory" with a 2^8-bit
+footprint.  :class:`SyncROM` models an asynchronous-read ROM (the
+registered output ``H`` of the leakage component is a separate
+:class:`~repro.hdl.register.DRegister` in the netlist, as in Fig. 3 of
+the paper).
+
+RAM/ROM power on FPGAs is dominated by the address decoder and the
+bit-line precharge, so the activity model charges:
+
+* the address-bus toggles (decoder switching),
+* the data-output toggles (bit lines and sense amplifiers),
+* a constant per-access precharge term.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.hdl.component import ActivityEvent, CombinationalComponent, KIND_RAM
+from repro.hdl.wires import Wire, hamming_distance, mask
+
+
+class SyncROM(CombinationalComponent):
+    """A read-only memory with combinational read."""
+
+    def __init__(
+        self,
+        name: str,
+        address: Wire,
+        data: Wire,
+        contents: Sequence[int],
+        precharge_activity: float = 1.0,
+    ):
+        super().__init__(name)
+        expected_entries = 1 << address.width
+        if len(contents) != expected_entries:
+            raise ValueError(
+                f"{name}: ROM needs {expected_entries} entries for a "
+                f"{address.width}-bit address, got {len(contents)}"
+            )
+        data_mask = mask(data.width)
+        for index, word in enumerate(contents):
+            if not 0 <= word <= data_mask:
+                raise ValueError(
+                    f"{name}: entry {index} = {word} does not fit in "
+                    f"{data.width} bits"
+                )
+        if precharge_activity < 0:
+            raise ValueError(f"{name}: precharge activity must be non-negative")
+        self.address = address
+        self.data = data
+        self.contents = tuple(contents)
+        self.precharge_activity = precharge_activity
+
+    @property
+    def input_wires(self) -> Sequence[Wire]:
+        return (self.address,)
+
+    @property
+    def output_wires(self) -> Sequence[Wire]:
+        return (self.data,)
+
+    def evaluate(self) -> None:
+        self.data.drive(self.contents[self.address.value])
+
+    def activity(self) -> List[ActivityEvent]:
+        decoder_toggles = hamming_distance(self.address.value, self.address.previous)
+        bitline_toggles = self.data.toggles()
+        amount = decoder_toggles + bitline_toggles + self.precharge_activity
+        return [ActivityEvent(self.name, KIND_RAM, float(amount))]

@@ -1,0 +1,143 @@
+"""Netlist assembly and structural validation.
+
+A :class:`Netlist` owns wires and components, checks that every wire
+has exactly one driver, and topologically orders the combinational
+components so a single evaluation pass per cycle settles all logic.
+Registers break combinational cycles, exactly as in synchronous RTL.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.hdl.component import (
+    CombinationalComponent,
+    Component,
+    SequentialComponent,
+)
+from repro.hdl.wires import Wire
+
+
+class NetlistError(Exception):
+    """Structural problem in a netlist (multiple drivers, comb. loop...)."""
+
+
+class Netlist:
+    """A named collection of wires and components forming one design."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("netlist name must be non-empty")
+        self.name = name
+        self.wires: Dict[str, Wire] = {}
+        self.components: List[Component] = []
+        self._component_names: Dict[str, Component] = {}
+        self._comb_order: Optional[List[CombinationalComponent]] = None
+
+    def wire(self, name: str, width: int, initial: int = 0) -> Wire:
+        """Create and register a new wire."""
+        if name in self.wires:
+            raise NetlistError(f"duplicate wire name {name!r}")
+        created = Wire(name, width, initial)
+        self.wires[name] = created
+        return created
+
+    def add(self, component: Component) -> Component:
+        """Register a component; returns it for fluent assembly."""
+        if component.name in self._component_names:
+            raise NetlistError(f"duplicate component name {component.name!r}")
+        self._component_names[component.name] = component
+        self.components.append(component)
+        self._comb_order = None
+        return component
+
+    def component(self, name: str) -> Component:
+        """Fetch a component by name."""
+        if name not in self._component_names:
+            raise KeyError(f"no component named {name!r} in netlist {self.name!r}")
+        return self._component_names[name]
+
+    @property
+    def sequential_components(self) -> List[SequentialComponent]:
+        return [c for c in self.components if isinstance(c, SequentialComponent)]
+
+    @property
+    def combinational_components(self) -> List[CombinationalComponent]:
+        return [c for c in self.components if isinstance(c, CombinationalComponent)]
+
+    def _check_single_drivers(self) -> None:
+        drivers: Dict[int, str] = {}
+        for component in self.components:
+            for wire in component.output_wires:
+                key = id(wire)
+                if key in drivers:
+                    raise NetlistError(
+                        f"wire {wire.name!r} driven by both "
+                        f"{drivers[key]!r} and {component.name!r}"
+                    )
+                drivers[key] = component.name
+
+    def combinational_order(self) -> List[CombinationalComponent]:
+        """Topologically sort the combinational components.
+
+        Sequential outputs (register Q) are sources; a cycle among
+        combinational components is a structural error.
+        """
+        if self._comb_order is not None:
+            return self._comb_order
+        self._check_single_drivers()
+
+        comb = self.combinational_components
+        driver_of: Dict[int, CombinationalComponent] = {}
+        for component in comb:
+            for wire in component.output_wires:
+                driver_of[id(wire)] = component
+
+        dependents: Dict[str, List[CombinationalComponent]] = {
+            c.name: [] for c in comb
+        }
+        in_degree: Dict[str, int] = {c.name: 0 for c in comb}
+        for component in comb:
+            for wire in component.input_wires:
+                upstream = driver_of.get(id(wire))
+                if upstream is not None and upstream is not component:
+                    dependents[upstream.name].append(component)
+                    in_degree[component.name] += 1
+
+        ready = [c for c in comb if in_degree[c.name] == 0]
+        ordered: List[CombinationalComponent] = []
+        while ready:
+            component = ready.pop(0)
+            ordered.append(component)
+            for downstream in dependents[component.name]:
+                in_degree[downstream.name] -= 1
+                if in_degree[downstream.name] == 0:
+                    ready.append(downstream)
+        if len(ordered) != len(comb):
+            stuck = sorted(name for name, deg in in_degree.items() if deg > 0)
+            raise NetlistError(
+                f"combinational loop in netlist {self.name!r} involving: {stuck}"
+            )
+        self._comb_order = ordered
+        return ordered
+
+    def validate(self) -> None:
+        """Run all structural checks (driver uniqueness, no comb. loops)."""
+        self.combinational_order()
+
+    def reset(self) -> None:
+        """Return every wire and component to its power-on state."""
+        for wire in self.wires.values():
+            wire.reset()
+        for component in self.components:
+            component.reset()
+        for component in self.combinational_order():
+            component.evaluate()
+        for wire in self.wires.values():
+            wire.latch_previous()
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, wires={len(self.wires)}, "
+            f"components={len(self.components)})"
+        )

@@ -1,0 +1,64 @@
+"""Clocked storage elements.
+
+:class:`DRegister` models a bank of D flip-flops: at each clock edge it
+captures the value of its ``d`` wire and exposes it on ``q``.  Register
+switching (the Hamming distance between consecutive states) is the
+dominant, best-understood contributor to CMOS dynamic power and is the
+signal the paper's verification scheme ultimately reads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.hdl.component import ActivityEvent, KIND_REGISTER, SequentialComponent
+from repro.hdl.wires import Wire, hamming_distance, mask
+
+
+class DRegister(SequentialComponent):
+    """A ``width``-bit D register with synchronous load and reset value."""
+
+    def __init__(self, name: str, d: Wire, q: Wire, reset_value: int = 0):
+        super().__init__(name)
+        if d.width != q.width:
+            raise ValueError(f"{name}: D/Q width mismatch ({d.width} vs {q.width})")
+        if not 0 <= reset_value <= mask(q.width):
+            raise ValueError(
+                f"{name}: reset value {reset_value} does not fit in {q.width} bits"
+            )
+        self.d = d
+        self.q = q
+        self.reset_value = reset_value
+        self._captured = reset_value
+        self._last_toggles = 0
+        self.q.drive(reset_value)
+
+    @property
+    def input_wires(self) -> Sequence[Wire]:
+        return (self.d,)
+
+    @property
+    def output_wires(self) -> Sequence[Wire]:
+        return (self.q,)
+
+    @property
+    def width(self) -> int:
+        return self.q.width
+
+    def reset(self) -> None:
+        self._captured = self.reset_value
+        self._last_toggles = 0
+        self.q.drive(self.reset_value)
+        self.q.latch_previous()
+
+    def capture(self) -> None:
+        """Sample D at the clock edge and remember the resulting toggles."""
+        self._captured = self.d.value
+        self._last_toggles = hamming_distance(self.q.value, self._captured)
+
+    def commit(self) -> None:
+        """Expose the captured value on Q."""
+        self.q.drive(self._captured)
+
+    def activity(self) -> List[ActivityEvent]:
+        return [ActivityEvent(self.name, KIND_REGISTER, float(self._last_toggles))]

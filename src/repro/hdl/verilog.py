@@ -1,0 +1,302 @@
+"""Structural Verilog export.
+
+The netlists in this library are behavioural Python objects, but a
+downstream user of the watermarking scheme ultimately wants RTL they
+can synthesise onto the FPGA the paper used.  This module emits
+synthesisable Verilog-2001 for every component type the substrate
+provides; the generated module has a clock, an active-high synchronous
+reset and the leakage component's pads as outputs.
+
+The export is structural and deliberately boring: one ``always`` block
+per register, one ``assign`` per combinational block, a ``case`` table
+for ROMs and transition tables.  The test suite cross-checks the
+emitted text, not a simulator — running it through a real tool is left
+to the user, but the constructs used are the plainest possible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.hdl.combinational import (
+    BinaryToGray,
+    Constant,
+    GrayToBinary,
+    Incrementer,
+    LookupLogic,
+    Mux2,
+    TransitionTable,
+    XorArray,
+)
+from repro.hdl.component import Component
+from repro.hdl.io import ClockTree, InputPort, OutputPort
+from repro.hdl.memory import SyncROM
+from repro.hdl.netlist import Netlist
+from repro.hdl.register import DRegister
+
+
+class VerilogExportError(Exception):
+    """A component has no Verilog translation."""
+
+
+def _identifier(name: str) -> str:
+    """Sanitise a wire/component name into a Verilog identifier."""
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned or "_anon"
+
+
+def _range(width: int) -> str:
+    return f"[{width - 1}:0] " if width > 1 else ""
+
+
+def _emit_register(component: DRegister) -> List[str]:
+    d = _identifier(component.d.name)
+    q = _identifier(component.q.name)
+    return [
+        f"  always @(posedge clk) begin // {component.name}",
+        "    if (rst)",
+        f"      {q} <= {component.width}'d{component.reset_value};",
+        "    else",
+        f"      {q} <= {d};",
+        "  end",
+    ]
+
+
+def _emit_case_table(
+    selector: str, target: str, table: Dict[int, int], width: int, name: str
+) -> List[str]:
+    lines = [f"  always @(*) begin // {name}", f"    case ({selector})"]
+    for key in sorted(table):
+        lines.append(f"      {width}'d{key}: {target} = {width}'d{table[key]};")
+    lines.append(f"      default: {target} = {width}'d0;")
+    lines.append("    endcase")
+    lines.append("  end")
+    return lines
+
+
+def _emit_rom(component: SyncROM) -> List[str]:
+    address = _identifier(component.address.name)
+    data = _identifier(component.data.name)
+    data_width = component.data.width
+    addr_width = component.address.width
+    lines = [f"  always @(*) begin // {component.name} (ROM)", f"    case ({address})"]
+    for index, word in enumerate(component.contents):
+        lines.append(
+            f"      {addr_width}'d{index}: {data} = {data_width}'h{word:0{(data_width + 3) // 4}x};"
+        )
+    lines.append(f"      default: {data} = {data_width}'d0;")
+    lines.append("    endcase")
+    lines.append("  end")
+    return lines
+
+
+def _emit_component(component: Component) -> List[str]:
+    if isinstance(component, DRegister):
+        return _emit_register(component)
+    if isinstance(component, Constant):
+        out = _identifier(component.output.name)
+        return [
+            f"  assign {out} = {component.output.width}'d{component.value}; "
+            f"// {component.name}"
+        ]
+    if isinstance(component, XorArray):
+        out = _identifier(component.output.name)
+        a = _identifier(component.a.name)
+        b = _identifier(component.b.name)
+        return [f"  assign {out} = {a} ^ {b}; // {component.name}"]
+    if isinstance(component, Incrementer):
+        out = _identifier(component.output.name)
+        a = _identifier(component.a.name)
+        return [
+            f"  assign {out} = {a} + {component.a.width}'d1; // {component.name}"
+        ]
+    if isinstance(component, BinaryToGray):
+        out = _identifier(component.output.name)
+        a = _identifier(component.a.name)
+        return [f"  assign {out} = {a} ^ ({a} >> 1); // {component.name}"]
+    if isinstance(component, GrayToBinary):
+        out = _identifier(component.output.name)
+        a = _identifier(component.a.name)
+        width = component.a.width
+        terms = " ^ ".join(f"({a} >> {shift})" for shift in range(width))
+        return [f"  assign {out} = {terms}; // {component.name}"]
+    if isinstance(component, Mux2):
+        out = _identifier(component.output.name)
+        return [
+            f"  assign {out} = {_identifier(component.select.name)} ? "
+            f"{_identifier(component.b.name)} : {_identifier(component.a.name)}; "
+            f"// {component.name}"
+        ]
+    if isinstance(component, TransitionTable):
+        return _emit_case_table(
+            _identifier(component.state.name),
+            _identifier(component.next_state.name),
+            component.table,
+            component.state.width,
+            component.name,
+        )
+    if isinstance(component, SyncROM):
+        return _emit_rom(component)
+    if isinstance(component, LookupLogic):
+        # A generic Python function has no structural translation;
+        # tabulate it when it has a single input of tractable width.
+        if len(component.input_wires) == 1 and component.input_wires[0].width <= 16:
+            wire = component.input_wires[0]
+            table = {
+                value: component.function(value) for value in range(1 << wire.width)
+            }
+            return _emit_case_table(
+                _identifier(wire.name),
+                _identifier(component.output.name),
+                table,
+                wire.width,
+                component.name,
+            )
+        raise VerilogExportError(
+            f"LookupLogic {component.name!r} is not tabulatable "
+            "(multiple inputs or input wider than 16 bits)"
+        )
+    if isinstance(component, (ClockTree, OutputPort, InputPort)):
+        return []  # handled at the port level / implicit
+    raise VerilogExportError(
+        f"no Verilog translation for component type {type(component).__name__}"
+    )
+
+
+def export_verilog(netlist: Netlist, module_name: str = None) -> str:
+    """Emit one synthesisable Verilog module for a netlist."""
+    netlist.validate()
+    name = _identifier(module_name if module_name is not None else netlist.name)
+
+    registers = [c for c in netlist.components if isinstance(c, DRegister)]
+    reg_wires = {id(c.q) for c in registers}
+    comb_driven = set()
+    for component in netlist.components:
+        if not isinstance(component, DRegister):
+            for wire in component.output_wires:
+                comb_driven.add(id(wire))
+    output_ports = [c for c in netlist.components if isinstance(c, OutputPort)]
+    input_ports = [c for c in netlist.components if isinstance(c, InputPort)]
+
+    ports = ["clk", "rst"]
+    for port in input_ports:
+        ports.append(_identifier(f"{port.name}_in"))
+    for port in output_ports:
+        ports.append(_identifier(f"{port.name}_out"))
+
+    lines: List[str] = [
+        f"// Generated by repro.hdl.verilog from netlist {netlist.name!r}",
+        f"module {name} (",
+    ]
+    port_decls = ["  input  wire clk", "  input  wire rst"]
+    for port in input_ports:
+        port_decls.append(
+            f"  input  wire {_range(port.target.width)}{_identifier(port.name + '_in')}"
+        )
+    for port in output_ports:
+        port_decls.append(
+            f"  output wire {_range(port.source.width)}{_identifier(port.name + '_out')}"
+        )
+    lines.append(",\n".join(port_decls))
+    lines.append(");")
+    lines.append("")
+
+    # Wire declarations: regs for register outputs and case-assigned
+    # wires, plain wires for assign targets.
+    case_targets = set()
+    for component in netlist.components:
+        if isinstance(component, (TransitionTable, SyncROM)):
+            case_targets.add(id(component.output_wires[0]))
+        if isinstance(component, LookupLogic):
+            case_targets.add(id(component.output))
+    for wire in netlist.wires.values():
+        kind = "reg " if id(wire) in reg_wires or id(wire) in case_targets else "wire"
+        lines.append(f"  {kind} {_range(wire.width)}{_identifier(wire.name)};")
+    lines.append("")
+
+    for port in input_ports:
+        lines.append(
+            f"  assign {_identifier(port.target.name)} = "
+            f"{_identifier(port.name + '_in')};"
+        )
+    if input_ports:
+        lines.append("")
+    for component in netlist.components:
+        emitted = _emit_component(component)
+        if emitted:
+            lines.extend(emitted)
+            lines.append("")
+
+    for port in output_ports:
+        lines.append(
+            f"  assign {_identifier(port.name + '_out')} = "
+            f"{_identifier(port.source.name)};"
+        )
+    lines.append("")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def export_testbench(
+    netlist: Netlist,
+    module_name: str = None,
+    cycles: int = 256,
+    clock_period: int = 10,
+) -> str:
+    """Emit a self-checking-free smoke testbench for the module.
+
+    The testbench instantiates the exported module, drives the clock
+    and a two-cycle reset, runs ``cycles`` clock periods and dumps a
+    VCD — enough to eyeball the design in any Verilog simulator
+    (Icarus, Verilator, the vendor tools).
+    """
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    if clock_period <= 1:
+        raise ValueError("clock_period must exceed 1")
+    netlist.validate()
+    name = _identifier(module_name if module_name is not None else netlist.name)
+    output_ports = [c for c in netlist.components if isinstance(c, OutputPort)]
+    input_ports = [c for c in netlist.components if isinstance(c, InputPort)]
+
+    lines = [
+        f"// Smoke testbench for {name}, generated by repro.hdl.verilog",
+        "`timescale 1ns/1ps",
+        f"module {name}_tb;",
+        "  reg clk = 1'b0;",
+        "  reg rst = 1'b1;",
+    ]
+    for port in input_ports:
+        lines.append(
+            f"  reg {_range(port.target.width)}"
+            f"{_identifier(port.name + '_in')} = 0;"
+        )
+    for port in output_ports:
+        lines.append(
+            f"  wire {_range(port.source.width)}{_identifier(port.name + '_out')};"
+        )
+    connections = ["    .clk(clk)", "    .rst(rst)"]
+    for port in input_ports:
+        pin = _identifier(port.name + "_in")
+        connections.append(f"    .{pin}({pin})")
+    for port in output_ports:
+        pin = _identifier(port.name + "_out")
+        connections.append(f"    .{pin}({pin})")
+    lines.append(f"  {name} dut (")
+    lines.append(",\n".join(connections))
+    lines.append("  );")
+    lines.append("")
+    lines.append(f"  always #{clock_period // 2} clk = ~clk;")
+    lines.append("")
+    lines.append("  initial begin")
+    lines.append(f'    $dumpfile("{name}_tb.vcd");')
+    lines.append(f"    $dumpvars(0, {name}_tb);")
+    lines.append(f"    repeat (2) @(posedge clk);")
+    lines.append("    rst = 1'b0;")
+    lines.append(f"    repeat ({cycles}) @(posedge clk);")
+    lines.append("    $finish;")
+    lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines)

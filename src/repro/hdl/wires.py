@@ -1,0 +1,83 @@
+"""Wires and bit-vector helpers for the digital-logic substrate.
+
+A :class:`Wire` is a named bundle of ``width`` bits carrying an integer
+value.  Components read and drive wires; the simulator tracks previous
+values so switching activity (Hamming distance between consecutive
+cycles) can be recorded — that activity is what drives the synthetic
+power model in :mod:`repro.power`.
+"""
+
+from __future__ import annotations
+
+
+def hamming_weight(value: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    if value < 0:
+        raise ValueError(f"hamming_weight needs a non-negative int, got {value}")
+    return bin(value).count("1")
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of differing bits between two non-negative integers."""
+    if a < 0 or b < 0:
+        raise ValueError(f"hamming_distance needs non-negative ints, got {a}, {b}")
+    return hamming_weight(a ^ b)
+
+
+def bit(value: int, index: int) -> int:
+    """Extract bit ``index`` (LSB = 0) of ``value``."""
+    if index < 0:
+        raise ValueError(f"bit index must be non-negative, got {index}")
+    return (value >> index) & 1
+
+
+def mask(width: int) -> int:
+    """All-ones mask for a ``width``-bit bus."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return (1 << width) - 1
+
+
+class Wire:
+    """A named ``width``-bit signal.
+
+    The simulator keeps both the current value and the value from the
+    previous clock cycle so per-cycle toggle counts can be derived.
+    """
+
+    def __init__(self, name: str, width: int, initial: int = 0):
+        if width <= 0:
+            raise ValueError(f"wire {name!r}: width must be positive, got {width}")
+        if not 0 <= initial <= mask(width):
+            raise ValueError(
+                f"wire {name!r}: initial value {initial} does not fit in {width} bits"
+            )
+        self.name = name
+        self.width = width
+        self.value = initial
+        self.previous = initial
+        self._initial = initial
+
+    def drive(self, value: int) -> None:
+        """Set the wire's current value, checking the bus width."""
+        if not 0 <= value <= mask(self.width):
+            raise ValueError(
+                f"wire {self.name!r}: value {value} does not fit in {self.width} bits"
+            )
+        self.value = value
+
+    def latch_previous(self) -> None:
+        """Record the current value as the previous-cycle value."""
+        self.previous = self.value
+
+    def toggles(self) -> int:
+        """Hamming distance between the current and previous values."""
+        return hamming_distance(self.value, self.previous)
+
+    def reset(self) -> None:
+        """Restore the wire to its initial value."""
+        self.value = self._initial
+        self.previous = self._initial
+
+    def __repr__(self) -> str:
+        return f"Wire({self.name!r}, width={self.width}, value={self.value:#x})"

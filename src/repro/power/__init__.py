@@ -1,0 +1,24 @@
+"""Synthetic power chain: activity → weighted power → PDN-filtered
+waveform, with measurement noise and CMOS process variation."""
+
+from repro.power.models import (
+    DEFAULT_KIND_WEIGHTS,
+    PowerModel,
+    cycle_power_breakdown,
+    variance_share,
+)
+from repro.power.noise import NoiseModel
+from repro.power.supply import WaveformConfig, render_waveform
+from repro.power.variation import DeviceVariation, VariationModel
+
+__all__ = [
+    "PowerModel",
+    "DEFAULT_KIND_WEIGHTS",
+    "cycle_power_breakdown",
+    "variance_share",
+    "NoiseModel",
+    "WaveformConfig",
+    "render_waveform",
+    "VariationModel",
+    "DeviceVariation",
+]

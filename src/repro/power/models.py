@@ -1,0 +1,131 @@
+"""Dynamic-power model: switching activity → per-cycle power.
+
+CMOS dynamic power is ``P = alpha * C * V^2 * f`` summed over nodes;
+for a fixed voltage and clock this reduces to a weighted sum of toggle
+counts, with weights proportional to the switched capacitance of each
+node class.  The default weights reflect the usual FPGA ordering:
+
+* I/O pads drive off-chip loads — an order of magnitude above internal
+  nodes;
+* block-RAM ports (decoder + bit lines) are heavier than a flip-flop;
+* registers and clock buffers are the reference class;
+* LUT/combinational nodes are lighter than registers.
+
+A :class:`PowerModel` also supports per-component weight overrides,
+which is how per-device process variation perturbs the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.hdl.activity import ActivityTrace
+from repro.hdl.component import (
+    ACTIVITY_KINDS,
+    KIND_CLOCK,
+    KIND_COMB,
+    KIND_IO,
+    KIND_RAM,
+    KIND_REGISTER,
+)
+
+#: Default switched-capacitance weights per activity kind.
+DEFAULT_KIND_WEIGHTS: Dict[str, float] = {
+    KIND_REGISTER: 1.0,
+    KIND_COMB: 0.4,
+    KIND_RAM: 0.9,
+    KIND_IO: 2.5,
+    KIND_CLOCK: 1.0,
+}
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Maps an :class:`ActivityTrace` to a per-cycle power series."""
+
+    kind_weights: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_KIND_WEIGHTS)
+    )
+    component_scale: Mapping[str, float] = field(default_factory=dict)
+    static_power: float = 0.5
+
+    def __post_init__(self) -> None:
+        for kind in self.kind_weights:
+            if kind not in ACTIVITY_KINDS:
+                raise ValueError(f"unknown activity kind {kind!r}")
+        for kind, weight in self.kind_weights.items():
+            if weight < 0:
+                raise ValueError(f"weight for {kind!r} must be non-negative")
+        for component, scale in self.component_scale.items():
+            if scale < 0:
+                raise ValueError(
+                    f"scale for component {component!r} must be non-negative"
+                )
+        if self.static_power < 0:
+            raise ValueError("static power must be non-negative")
+
+    def weight_for(self, component: str, kind: str) -> float:
+        """Effective weight of one activity channel."""
+        if kind not in ACTIVITY_KINDS:
+            raise ValueError(f"unknown activity kind {kind!r}")
+        base = self.kind_weights.get(kind, 0.0)
+        return base * self.component_scale.get(component, 1.0)
+
+    def channel_weights(self, trace: ActivityTrace) -> np.ndarray:
+        """Weight vector aligned with the trace's channels."""
+        return np.array(
+            [self.weight_for(c.component, c.kind) for c in trace.channels]
+        )
+
+    def cycle_power(self, trace: ActivityTrace) -> np.ndarray:
+        """Per-cycle dynamic + static power for one activity trace."""
+        dynamic = trace.weighted_series(self.channel_weights(trace))
+        return dynamic + self.static_power
+
+    def with_component_scales(self, scales: Mapping[str, float]) -> "PowerModel":
+        """A copy with additional per-component scales (composed)."""
+        merged = dict(self.component_scale)
+        for component, scale in scales.items():
+            merged[component] = merged.get(component, 1.0) * scale
+        return replace(self, component_scale=merged)
+
+
+def cycle_power_breakdown(
+    model: PowerModel, trace: ActivityTrace
+) -> Dict[str, np.ndarray]:
+    """Per-kind contribution to the per-cycle power (for diagnostics)."""
+    breakdown: Dict[str, np.ndarray] = {}
+    for kind in trace.kinds():
+        columns = [
+            i for i, channel in enumerate(trace.channels) if channel.kind == kind
+        ]
+        weights = np.array(
+            [
+                model.weight_for(trace.channels[i].component, kind)
+                for i in columns
+            ]
+        )
+        breakdown[kind] = trace.matrix[:, columns] @ weights
+    return breakdown
+
+
+def variance_share(model: PowerModel, trace: ActivityTrace) -> Dict[str, float]:
+    """Fraction of the *time-varying* power variance due to each kind.
+
+    Diagnostic used when calibrating the model: the paper's Table I
+    requires the shared (counter + clock) components to dominate the
+    keyed (RAM + IO) components in variance, while keeping the keyed
+    part measurable.
+    """
+    breakdown = cycle_power_breakdown(model, trace)
+    total = model.cycle_power(trace)
+    total_variance = float(np.var(total))
+    if total_variance == 0:
+        return {kind: 0.0 for kind in breakdown}
+    return {
+        kind: float(np.var(series) / total_variance)
+        for kind, series in breakdown.items()
+    }

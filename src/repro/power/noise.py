@@ -1,0 +1,63 @@
+"""Measurement-noise model for the synthetic oscilloscope.
+
+The dominant noise in a shunt-resistor power measurement is wideband
+amplifier/thermal noise, modelled as i.i.d. Gaussian samples.  A slow
+baseline drift (random-walk low-frequency noise) is also available —
+it is largely removed by the Pearson correlation's mean subtraction,
+but including it keeps single traces realistic.
+
+``sigma`` is expressed *relative to the standard deviation of the
+deterministic waveform*, so the acquisition signal-to-noise ratio is a
+single, interpretable calibration knob: the default of 1.0 (single-
+trace SNR of one) puts the k = 50 averaged matching correlation near
+0.98 and reproduces the paper's distinguisher behaviour; sigma = 1.8
+lands the matching mean on the paper's 0.94 at the cost of a thinner
+variance margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Additive noise applied to each acquired trace."""
+
+    sigma: float = 1.0
+    drift_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("noise sigma must be non-negative")
+        if self.drift_sigma < 0:
+            raise ValueError("drift sigma must be non-negative")
+
+    def sample(
+        self,
+        n_traces: int,
+        n_samples: int,
+        signal_std: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Noise matrix of shape ``(n_traces, n_samples)``.
+
+        ``signal_std`` scales the relative sigmas into absolute units.
+        """
+        if n_traces <= 0 or n_samples <= 0:
+            raise ValueError("n_traces and n_samples must be positive")
+        if signal_std < 0:
+            raise ValueError("signal_std must be non-negative")
+        noise = rng.normal(
+            0.0, self.sigma * signal_std, size=(n_traces, n_samples)
+        )
+        if self.drift_sigma > 0:
+            steps = rng.normal(
+                0.0,
+                self.drift_sigma * signal_std / np.sqrt(n_samples),
+                size=(n_traces, n_samples),
+            )
+            noise += np.cumsum(steps, axis=1)
+        return noise

@@ -1,0 +1,157 @@
+"""Tests for the AES-128 implementation against FIPS-197/NIST vectors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.aes import (
+    BLOCK_SIZE,
+    decrypt_block,
+    decrypt_bytes,
+    decrypt_ecb,
+    encrypt_block,
+    encrypt_bytes,
+    encrypt_ecb,
+    expand_key,
+    inv_mix_columns,
+    inv_shift_rows,
+    inv_sub_bytes,
+    mix_columns,
+    shift_rows,
+    sub_bytes,
+)
+
+block = st.lists(
+    st.integers(min_value=0, max_value=255), min_size=16, max_size=16
+)
+
+
+class TestKnownVectors:
+    def test_fips_197_appendix_b(self):
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert encrypt_bytes(plaintext, key) == expected
+
+    def test_fips_197_appendix_c1(self):
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert encrypt_bytes(plaintext, key) == expected
+
+    def test_fips_197_appendix_c1_decrypt(self):
+        ciphertext = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        expected = bytes.fromhex("00112233445566778899aabbccddeeff")
+        assert decrypt_bytes(ciphertext, key) == expected
+
+    def test_nist_sp800_38a_ecb_block1(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert encrypt_bytes(plaintext, key) == expected
+
+    def test_all_zero_key_and_plaintext(self):
+        out = encrypt_bytes(bytes(16), bytes(16))
+        assert out == bytes.fromhex("66e94bd4ef8a2c3b884cfa59ca342b2e")
+
+
+class TestKeySchedule:
+    def test_first_round_key_is_the_key(self):
+        key = list(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+        round_keys = expand_key(key)
+        assert round_keys[0] == key
+
+    def test_eleven_round_keys(self):
+        round_keys = expand_key([0] * 16)
+        assert len(round_keys) == 11
+        assert all(len(rk) == 16 for rk in round_keys)
+
+    def test_fips_197_appendix_a_last_round_key(self):
+        key = list(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+        round_keys = expand_key(key)
+        expected = list(bytes.fromhex("d014f9a8c9ee2589e13f0cc8b6630ca6"))
+        assert round_keys[10] == expected
+
+    def test_rejects_wrong_key_size(self):
+        with pytest.raises(ValueError):
+            expand_key([0] * 15)
+
+    def test_rejects_non_byte_values(self):
+        with pytest.raises(ValueError):
+            expand_key([0] * 15 + [256])
+
+
+class TestRoundFunctions:
+    @given(block)
+    def test_sub_bytes_roundtrip(self, state):
+        assert inv_sub_bytes(sub_bytes(state)) == state
+
+    @given(block)
+    def test_shift_rows_roundtrip(self, state):
+        assert inv_shift_rows(shift_rows(state)) == state
+
+    @given(block)
+    def test_mix_columns_roundtrip(self, state):
+        assert inv_mix_columns(mix_columns(state)) == state
+
+    def test_shift_rows_row0_unchanged(self):
+        state = list(range(16))
+        shifted = shift_rows(state)
+        # Row 0 lives at indices 0, 4, 8, 12 (column-major).
+        assert [shifted[i] for i in (0, 4, 8, 12)] == [state[i] for i in (0, 4, 8, 12)]
+
+    def test_mix_columns_fips_example(self):
+        # FIPS-197: column [db, 13, 53, 45] -> [8e, 4d, a1, bc].
+        column = [0xDB, 0x13, 0x53, 0x45]
+        state = column + [0] * 12
+        mixed = mix_columns(state)
+        assert mixed[:4] == [0x8E, 0x4D, 0xA1, 0xBC]
+
+
+class TestRoundTrips:
+    @given(block, block)
+    def test_encrypt_decrypt_roundtrip(self, plaintext, key):
+        assert decrypt_block(encrypt_block(plaintext, key), key) == plaintext
+
+    @given(block, block)
+    def test_encryption_changes_the_block(self, plaintext, key):
+        assert encrypt_block(plaintext, key) != plaintext
+
+    def test_different_keys_different_ciphertexts(self):
+        plaintext = [0x42] * 16
+        c1 = encrypt_block(plaintext, [0x00] * 16)
+        c2 = encrypt_block(plaintext, [0x01] + [0x00] * 15)
+        assert c1 != c2
+
+
+class TestECB:
+    def test_ecb_roundtrip_two_blocks(self):
+        data = list(range(32))
+        key = [7] * 16
+        assert decrypt_ecb(encrypt_ecb(data, key), key) == data
+
+    def test_ecb_equal_blocks_equal_ciphertexts(self):
+        # The well-known ECB weakness, used here as a correctness check.
+        data = [0xAA] * 32
+        out = encrypt_ecb(data, [1] * 16)
+        assert out[:16] == out[16:]
+
+    def test_ecb_rejects_partial_blocks(self):
+        with pytest.raises(ValueError):
+            encrypt_ecb([0] * 17, [0] * 16)
+        with pytest.raises(ValueError):
+            decrypt_ecb([0] * 15, [0] * 16)
+
+
+class TestValidation:
+    def test_rejects_short_block(self):
+        with pytest.raises(ValueError):
+            encrypt_block([0] * 15, [0] * 16)
+
+    def test_rejects_non_byte_in_block(self):
+        with pytest.raises(ValueError):
+            encrypt_block([0] * 15 + [999], [0] * 16)
+
+    def test_block_size_constant(self):
+        assert BLOCK_SIZE == 16

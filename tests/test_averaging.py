@@ -1,0 +1,87 @@
+"""Tests for k-averaged trace construction."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition.traces import TraceSet
+from repro.core.averaging import (
+    averaging_noise_reduction,
+    k_averaged_set,
+    k_averaged_trace,
+)
+
+
+def noisy_traces(n=200, l=64, sigma=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    signal = np.sin(np.linspace(0, 8 * np.pi, l))
+    matrix = signal[np.newaxis, :] + rng.normal(0, sigma, size=(n, l))
+    return TraceSet("dev", matrix), signal
+
+
+class TestKAveragedTrace:
+    def test_shape(self, rng):
+        traces, _signal = noisy_traces()
+        averaged = k_averaged_trace(traces, 10, rng)
+        assert averaged.shape == (64,)
+
+    def test_k_equals_n_gives_global_mean(self, rng):
+        traces, _signal = noisy_traces(n=20)
+        averaged = k_averaged_trace(traces, 20, rng)
+        np.testing.assert_allclose(averaged, traces.mean_trace())
+
+    def test_k_one_returns_a_member_trace(self, rng):
+        traces, _signal = noisy_traces(n=5)
+        averaged = k_averaged_trace(traces, 1, rng)
+        assert any(np.allclose(averaged, row) for row in traces.matrix)
+
+    def test_averaging_reduces_noise(self):
+        traces, signal = noisy_traces(n=500, sigma=1.0)
+        rng = np.random.default_rng(1)
+        residual_1 = np.std(k_averaged_trace(traces, 1, rng) - signal)
+        residual_100 = np.std(k_averaged_trace(traces, 100, rng) - signal)
+        assert residual_100 < residual_1 / 5  # ~ sqrt(100)/2 margin
+
+
+class TestKAveragedSet:
+    def test_shape(self, rng):
+        traces, _signal = noisy_traces()
+        a_set = k_averaged_set(traces, 10, 7, rng)
+        assert a_set.shape == (7, 64)
+
+    def test_rows_differ(self, rng):
+        traces, _signal = noisy_traces()
+        a_set = k_averaged_set(traces, 10, 5, rng)
+        assert not np.allclose(a_set[0], a_set[1])
+
+    def test_rows_concentrate_around_signal(self, rng):
+        traces, signal = noisy_traces(n=2000, sigma=1.0)
+        a_set = k_averaged_set(traces, 100, 10, rng)
+        residuals = np.std(a_set - signal, axis=1)
+        assert np.all(residuals < 0.3)
+
+    def test_rejects_k_too_large(self, rng):
+        traces, _signal = noisy_traces(n=5)
+        with pytest.raises(ValueError):
+            k_averaged_set(traces, 6, 2, rng)
+
+
+class TestNoiseReduction:
+    def test_sqrt_law(self):
+        assert averaging_noise_reduction(1) == 1.0
+        assert averaging_noise_reduction(4) == 2.0
+        assert averaging_noise_reduction(50) == pytest.approx(np.sqrt(50))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            averaging_noise_reduction(0)
+
+    def test_empirical_sqrt_k(self):
+        # Noise amplitude after k-averaging falls like 1/sqrt(k).
+        traces, signal = noisy_traces(n=4000, sigma=1.0, seed=2)
+        rng = np.random.default_rng(3)
+        residuals = {}
+        for k in (4, 64):
+            a_set = k_averaged_set(traces, k, 30, rng)
+            residuals[k] = float(np.mean(np.std(a_set - signal, axis=1)))
+        ratio = residuals[4] / residuals[64]
+        assert ratio == pytest.approx(4.0, rel=0.25)

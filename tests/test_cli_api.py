@@ -1,0 +1,132 @@
+"""Tests for the CLI, the public API surface and the report module."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cli import build_parser, main
+from repro.core.report import (
+    render_comparison,
+    render_matrix_table,
+    render_means_table,
+    render_variances_table,
+    render_verdicts,
+    summarize_scores,
+)
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_alls_resolve(self):
+        import repro.acquisition
+        import repro.analysis
+        import repro.attacks
+        import repro.baselines
+        import repro.core
+        import repro.crypto
+        import repro.experiments
+        import repro.fsm
+        import repro.hdl
+        import repro.power
+
+        for module in (
+            repro.core,
+            repro.crypto,
+            repro.hdl,
+            repro.fsm,
+            repro.power,
+            repro.acquisition,
+            repro.experiments,
+            repro.analysis,
+            repro.baselines,
+            repro.attacks,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_paper_plan_exported(self):
+        assert repro.PAPER_PLAN.parameters.n2 == 10_000
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["plan", "--alpha", "5", "--k", "25"])
+        assert args.command == "plan"
+        assert args.alpha == 5.0
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_command(self, capsys):
+        assert main(["plan", "--alpha", "10", "--k", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "P(zeta) limit" in out
+        assert "n2 (DUT traces)" in out
+
+    def test_figure5_command(self, capsys):
+        assert main(["figure5"]) == 0
+        out = capsys.readouterr().out
+        assert "f_alpha(m)" in out
+        assert "paper: 0.0045" in out
+
+    def test_figure5_custom_alpha(self, capsys):
+        assert main(["figure5", "--alpha", "3"]) == 0
+        assert "alpha = 3" in capsys.readouterr().out
+
+    def test_collisions_command(self, capsys):
+        assert main(["collisions"]) == 0
+        out = capsys.readouterr().out
+        assert "32640" in out
+        assert "worst pair" in out
+
+    def test_keysearch_command(self, capsys):
+        assert main(["keysearch", "--traces", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered: True" in out
+
+
+class TestReportRendering:
+    MATRIX = {
+        "IP_X": {"DUT#1": 0.95, "DUT#2": 0.50},
+        "IP_Y": {"DUT#1": 0.40, "DUT#2": 0.90},
+    }
+
+    def test_means_table(self):
+        text = render_means_table(self.MATRIX, ["DUT#1", "DUT#2"])
+        assert "0.950" in text
+        assert "Delta_mean" in text
+
+    def test_variances_table(self):
+        matrix = {
+            "IP_X": {"DUT#1": 1e-6, "DUT#2": 1e-4},
+        }
+        text = render_variances_table(matrix, ["DUT#1", "DUT#2"])
+        assert "1.000e-06" in text
+        assert "99.00%" in text
+
+    def test_matrix_table_rejects_unknown_style(self):
+        with pytest.raises(ValueError):
+            render_matrix_table(self.MATRIX, ["DUT#1", "DUT#2"], "bogus", "x")
+
+    def test_comparison_line(self):
+        line = render_comparison("P(zeta)", 0.0045, 0.004474)
+        assert "paper=0.0045" in line
+        assert "measured=0.004474" in line
+
+    def test_summarize_scores(self):
+        text = summarize_scores({"DUT#1": 0.9}, style="mean")
+        assert text == "DUT#1=0.900"
+
+    def test_render_verdicts(self, paper_campaign):
+        text = render_verdicts(paper_campaign.reports["IP_A"])
+        assert "IP_A" in text
+        assert "higher-mean" in text
+        assert "unanimous" in text

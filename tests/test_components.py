@@ -1,0 +1,211 @@
+"""Tests for combinational components and their activity models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hdl.combinational import (
+    BinaryToGray,
+    Constant,
+    GrayToBinary,
+    Incrementer,
+    LookupLogic,
+    Mux2,
+    TransitionTable,
+    XorArray,
+)
+from repro.hdl.component import ActivityEvent, KIND_COMB
+from repro.hdl.wires import Wire
+
+bytes_ = st.integers(min_value=0, max_value=255)
+
+
+def make_xor():
+    a, b, out = Wire("a", 8), Wire("b", 8), Wire("out", 8)
+    return XorArray("xor", a, b, out), a, b, out
+
+
+class TestConstant:
+    def test_drives_value(self):
+        out = Wire("out", 8)
+        Constant("k", out, 0x5A).evaluate()
+        assert out.value == 0x5A
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            Constant("k", Wire("out", 4), 16)
+
+    def test_no_activity(self):
+        out = Wire("out", 8)
+        component = Constant("k", out, 1)
+        component.evaluate()
+        assert component.activity() == []
+
+
+class TestXorArray:
+    @given(bytes_, bytes_)
+    def test_computes_xor(self, x, y):
+        component, a, b, out = make_xor()
+        a.drive(x)
+        b.drive(y)
+        component.evaluate()
+        assert out.value == x ^ y
+
+    def test_activity_counts_output_toggles(self):
+        component, a, b, out = make_xor()
+        a.drive(0x0F)
+        component.evaluate()
+        out.latch_previous()
+        a.drive(0x00)
+        component.evaluate()
+        events = component.activity()
+        assert len(events) == 1
+        assert events[0].kind == KIND_COMB
+        assert events[0].amount == 4.0
+
+    def test_rejects_width_mismatch(self):
+        with pytest.raises(ValueError):
+            XorArray("x", Wire("a", 8), Wire("b", 4), Wire("o", 8))
+
+
+class TestIncrementer:
+    @given(bytes_)
+    def test_increments_mod_256(self, x):
+        a, out = Wire("a", 8), Wire("out", 8)
+        component = Incrementer("inc", a, out)
+        a.drive(x)
+        component.evaluate()
+        assert out.value == (x + 1) % 256
+
+    def test_carry_ripple_lengths(self):
+        a, out = Wire("a", 8), Wire("out", 8)
+        component = Incrementer("inc", a, out)
+        expectations = {0b0: 1, 0b1: 2, 0b11: 3, 0b0111: 4, 0xFF: 8}
+        for value, ripple in expectations.items():
+            a.drive(value)
+            assert component.carry_ripple_length() == ripple
+
+    def test_ripple_capped_at_width(self):
+        a, out = Wire("a", 4), Wire("out", 4)
+        component = Incrementer("inc", a, out)
+        a.drive(0xF)
+        assert component.carry_ripple_length() == 4
+
+    def test_activity_grows_with_ripple(self):
+        a, out = Wire("a", 8), Wire("out", 8)
+        component = Incrementer("inc", a, out)
+        a.drive(0x00)
+        component.evaluate()
+        low = component.activity()[0].amount
+        a.drive(0x7F)
+        component.evaluate()
+        high = component.activity()[0].amount
+        assert high > low
+
+
+class TestGrayConverters:
+    @given(bytes_)
+    def test_binary_to_gray_formula(self, x):
+        a, out = Wire("a", 8), Wire("out", 8)
+        component = BinaryToGray("b2g", a, out)
+        a.drive(x)
+        component.evaluate()
+        assert out.value == x ^ (x >> 1)
+
+    @given(bytes_)
+    def test_gray_roundtrip(self, x):
+        a, g = Wire("a", 8), Wire("g", 8)
+        b2g = BinaryToGray("b2g", a, g)
+        a.drive(x)
+        b2g.evaluate()
+        g2, back = Wire("g2", 8), Wire("back", 8)
+        g2b = GrayToBinary("g2b", g2, back)
+        g2.drive(g.value)
+        g2b.evaluate()
+        assert back.value == x
+
+    def test_gray_to_binary_non_power_of_two_width(self):
+        a, out = Wire("a", 5), Wire("out", 5)
+        component = GrayToBinary("g2b", a, out)
+        for x in range(32):
+            a.drive(x ^ (x >> 1))
+            component.evaluate()
+            assert out.value == x
+
+
+class TestMux2:
+    def test_selects_a_then_b(self):
+        select, a, b, out = Wire("s", 1), Wire("a", 8), Wire("b", 8), Wire("o", 8)
+        mux = Mux2("mux", select, a, b, out)
+        a.drive(10)
+        b.drive(20)
+        select.drive(0)
+        mux.evaluate()
+        assert out.value == 10
+        select.drive(1)
+        mux.evaluate()
+        assert out.value == 20
+
+    def test_rejects_wide_select(self):
+        with pytest.raises(ValueError):
+            Mux2("m", Wire("s", 2), Wire("a", 8), Wire("b", 8), Wire("o", 8))
+
+
+class TestLookupLogic:
+    def test_applies_function(self):
+        a, out = Wire("a", 8), Wire("out", 8)
+        logic = LookupLogic("f", (a,), out, lambda x: (x * 3) % 256)
+        a.drive(7)
+        logic.evaluate()
+        assert out.value == 21
+
+    def test_multiple_inputs(self):
+        a, b, out = Wire("a", 8), Wire("b", 8), Wire("out", 8)
+        logic = LookupLogic("f", (a, b), out, lambda x, y: (x + y) % 256)
+        a.drive(3)
+        b.drive(4)
+        logic.evaluate()
+        assert out.value == 7
+
+    def test_rejects_empty_inputs(self):
+        with pytest.raises(ValueError):
+            LookupLogic("f", (), Wire("o", 8), lambda: 0)
+
+    def test_glitch_factor_in_activity(self):
+        a, out = Wire("a", 8), Wire("out", 8)
+        logic = LookupLogic("f", (a,), out, lambda x: x, glitch_factor=1.0)
+        a.drive(0xFF)
+        logic.evaluate()
+        events = logic.activity()
+        # 8 output toggles + 1.0 * 8 input toggles.
+        assert events[0].amount == 16.0
+
+
+class TestTransitionTable:
+    def test_follows_table(self):
+        state, nxt = Wire("s", 2), Wire("n", 2)
+        table = TransitionTable("t", state, nxt, {0: 1, 1: 2, 2: 0})
+        state.drive(1)
+        table.evaluate()
+        assert nxt.value == 2
+
+    def test_unknown_state_raises(self):
+        state, nxt = Wire("s", 2), Wire("n", 2)
+        table = TransitionTable("t", state, nxt, {0: 1})
+        state.drive(3)
+        with pytest.raises(KeyError):
+            table.evaluate()
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError):
+            TransitionTable("t", Wire("s", 2), Wire("n", 2), {})
+
+
+class TestActivityEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            ActivityEvent("c", "bogus", 1.0)
+
+    def test_rejects_negative_amount(self):
+        with pytest.raises(ValueError):
+            ActivityEvent("c", KIND_COMB, -1.0)

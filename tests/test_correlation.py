@@ -1,0 +1,185 @@
+"""Tests for the Pearson correlation machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.correlation import (
+    DegenerateTraceError,
+    expected_correlation_variance,
+    expected_match_correlation,
+    fisher_z,
+    pearson,
+    pearson_many,
+)
+
+finite_traces = arrays(
+    dtype=float,
+    shape=st.integers(min_value=3, max_value=64),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        x = np.arange(10.0)
+        assert pearson(x, 2 * x + 3) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        x = np.arange(10.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_independent_signals_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=10_000)
+        y = rng.normal(size=10_000)
+        assert abs(pearson(x, y)) < 0.05
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=100)
+        y = rng.normal(size=100) + 0.5 * x
+        assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    @given(finite_traces)
+    def test_self_correlation_is_one(self, x):
+        try:
+            value = pearson(x, x)
+        except DegenerateTraceError:
+            return  # constant traces are legitimately rejected
+        assert value == pytest.approx(1.0)
+
+    @given(finite_traces)
+    def test_bounded(self, x):
+        try:
+            value = pearson(x, np.cos(x))
+        except DegenerateTraceError:
+            return
+        assert -1.0 <= value <= 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        x, y = rng.normal(size=50), rng.normal(size=50)
+        assert pearson(x, y) == pytest.approx(pearson(y, x))
+
+    def test_gain_offset_invariance(self):
+        rng = np.random.default_rng(3)
+        x, y = rng.normal(size=50), rng.normal(size=50)
+        assert pearson(x, 5 * y + 7) == pytest.approx(pearson(x, y))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson(np.zeros(5), np.zeros(6))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            pearson(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValueError):
+            pearson(np.array([1.0]), np.array([2.0]))
+
+    def test_degenerate_raises(self):
+        with pytest.raises(DegenerateTraceError):
+            pearson(np.ones(10), np.arange(10.0))
+
+
+class TestPearsonMany:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(4)
+        reference = rng.normal(size=30)
+        traces = rng.normal(size=(6, 30))
+        vectorised = pearson_many(reference, traces)
+        scalar = [pearson(reference, t) for t in traces]
+        np.testing.assert_allclose(vectorised, scalar)
+
+    def test_shape(self):
+        rng = np.random.default_rng(5)
+        out = pearson_many(rng.normal(size=10), rng.normal(size=(8, 10)))
+        assert out.shape == (8,)
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_many(np.zeros(5), np.zeros((2, 6)))
+
+    def test_rejects_1d_traces(self):
+        with pytest.raises(ValueError):
+            pearson_many(np.zeros(5), np.zeros(5))
+
+    def test_degenerate_row_raises(self):
+        rng = np.random.default_rng(6)
+        traces = rng.normal(size=(3, 10))
+        traces[1] = 1.0
+        with pytest.raises(DegenerateTraceError):
+            pearson_many(rng.normal(size=10), traces)
+
+
+class TestFisherZ:
+    def test_zero_maps_to_zero(self):
+        assert fisher_z(np.array([0.0]))[0] == 0.0
+
+    def test_monotone(self):
+        rhos = np.array([-0.9, -0.5, 0.0, 0.5, 0.9])
+        z = fisher_z(rhos)
+        assert np.all(np.diff(z) > 0)
+
+    def test_stays_finite_at_extremes(self):
+        z = fisher_z(np.array([1.0, -1.0]))
+        assert np.all(np.isfinite(z))
+
+    def test_stretches_tails(self):
+        # The gap 0.99 vs 0.94 grows under the z-transform.
+        raw_gap = 0.99 - 0.94
+        z_gap = float(fisher_z(np.array([0.99]))[0] - fisher_z(np.array([0.94]))[0])
+        assert z_gap > 3 * raw_gap
+
+
+class TestTheoreticalFormulas:
+    def test_match_correlation_increases_with_k(self):
+        values = [expected_match_correlation(k, 1.5) for k in (1, 10, 50, 500)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_match_correlation_paper_operating_point(self):
+        # sigma ~ 1.8, k = 50 lands near the paper's 0.94.
+        assert expected_match_correlation(50, 1.8) == pytest.approx(0.939, abs=0.005)
+
+    def test_zero_noise_gives_unity(self):
+        assert expected_match_correlation(50, 0.0) == 1.0
+
+    def test_variance_vanishes_at_unity_rho(self):
+        assert expected_correlation_variance(1.0, 1024) == 0.0
+
+    def test_variance_peaks_at_zero_rho(self):
+        low = expected_correlation_variance(0.9, 1024)
+        high = expected_correlation_variance(0.0, 1024)
+        assert high > low
+
+    def test_variance_scales_inverse_length(self):
+        v1 = expected_correlation_variance(0.5, 100)
+        v2 = expected_correlation_variance(0.5, 400)
+        assert v1 == pytest.approx(4 * v2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_correlation_variance(1.5, 100)
+        with pytest.raises(ValueError):
+            expected_correlation_variance(0.5, 1)
+        with pytest.raises(ValueError):
+            expected_match_correlation(0, 1.0)
+        with pytest.raises(ValueError):
+            expected_match_correlation(5, -1.0)
+
+    def test_empirical_variance_matches_asymptotic(self):
+        # Sample Pearson variance ~ (1 - rho^2)^2 / l.
+        rng = np.random.default_rng(7)
+        l, rho = 2000, 0.8
+        estimates = []
+        for _ in range(300):
+            x = rng.normal(size=l)
+            y = rho * x + np.sqrt(1 - rho**2) * rng.normal(size=l)
+            estimates.append(pearson(x, y))
+        empirical = np.var(estimates)
+        theory = expected_correlation_variance(rho, l)
+        assert empirical == pytest.approx(theory, rel=0.3)

@@ -1,0 +1,141 @@
+"""Tests for the paper's four designed IPs and the device fleet."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.designs import (
+    DUT_CONTENTS,
+    EXPECTED_MATCHES,
+    IP_SPECS,
+    KW1,
+    KW2,
+    KW3,
+    PERIOD_CYCLES,
+    build_device_fleet,
+    build_ip,
+    build_paper_ip,
+)
+from repro.fsm.properties import period
+from repro.fsm.counters import binary_counter_machine, gray_counter_machine
+from repro.hdl.simulator import Simulator
+from repro.power.variation import VariationModel
+
+
+class TestSpecs:
+    def test_four_ips(self):
+        assert set(IP_SPECS) == {"IP_A", "IP_B", "IP_C", "IP_D"}
+
+    def test_ip_a_is_binary_with_kw1(self):
+        assert IP_SPECS["IP_A"] == ("binary", KW1)
+
+    def test_b_and_c_and_d_are_gray(self):
+        for name in ("IP_B", "IP_C", "IP_D"):
+            assert IP_SPECS[name][0] == "gray"
+
+    def test_a_and_b_share_kw1(self):
+        assert IP_SPECS["IP_A"][1] == IP_SPECS["IP_B"][1] == KW1
+
+    def test_c_and_d_have_distinct_keys(self):
+        keys = {IP_SPECS[name][1] for name in ("IP_B", "IP_C", "IP_D")}
+        assert keys == {KW1, KW2, KW3}
+        assert len(keys) == 3
+
+    def test_dut_contents_match_expected(self):
+        for dut, ip in DUT_CONTENTS.items():
+            assert EXPECTED_MATCHES[ip] == dut
+
+    def test_period_constant(self):
+        assert PERIOD_CYCLES == 256
+
+
+class TestBuildIP:
+    def test_watermarked_has_h_register(self):
+        ip = build_paper_ip("IP_A")
+        assert ip.is_watermarked
+        assert ip.kw == KW1
+
+    def test_unwatermarked_variant(self):
+        ip = build_paper_ip("IP_A", watermarked=False)
+        assert not ip.is_watermarked
+        assert ip.h_register is None
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_paper_ip("IP_Z")
+
+    def test_unknown_fsm_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_ip("x", "johnson", 0)
+
+    def test_netlists_validate(self):
+        for name in IP_SPECS:
+            build_paper_ip(name).netlist.validate()
+
+    def test_fsm_periods_are_256(self):
+        assert period(binary_counter_machine(8)) == PERIOD_CYCLES
+        assert period(gray_counter_machine(8)) == PERIOD_CYCLES
+
+    def test_fsm_behaviour_unchanged_by_watermark(self):
+        marked = build_paper_ip("IP_B")
+        plain = build_paper_ip("IP_B", watermarked=False)
+        seq_marked = Simulator(marked.netlist).state_sequence("ctr_reg", 300)
+        seq_plain = Simulator(plain.netlist).state_sequence("ctr_reg", 300)
+        assert seq_marked == seq_plain
+
+
+class TestFleet:
+    def test_fleet_shape(self):
+        refds, duts = build_device_fleet(seed=1)
+        assert set(refds) == set(IP_SPECS)
+        assert set(duts) == set(DUT_CONTENTS)
+
+    def test_devices_have_independent_netlists(self):
+        refds, duts = build_device_fleet(seed=1)
+        assert refds["IP_A"].ip.netlist is not duts["DUT#1"].ip.netlist
+
+    def test_matching_devices_same_ip_content(self):
+        refds, duts = build_device_fleet(seed=1)
+        for ref_name, dut_name in EXPECTED_MATCHES.items():
+            assert refds[ref_name].ip.kw == duts[dut_name].ip.kw
+            assert refds[ref_name].ip.fsm_kind == duts[dut_name].ip.fsm_kind
+
+    def test_no_variation_gives_identical_waveforms(self):
+        refds, duts = build_device_fleet(variation_model=None, seed=1)
+        np.testing.assert_allclose(
+            refds["IP_A"].deterministic_waveform(),
+            duts["DUT#1"].deterministic_waveform(),
+        )
+
+    def test_variation_perturbs_waveforms(self):
+        refds, duts = build_device_fleet(
+            variation_model=VariationModel(), seed=1
+        )
+        ref = refds["IP_A"].deterministic_waveform()
+        dut = duts["DUT#1"].deterministic_waveform()
+        assert not np.allclose(ref, dut)
+
+    def test_variation_is_seeded(self):
+        fleet1 = build_device_fleet(variation_model=VariationModel(), seed=9)
+        fleet2 = build_device_fleet(variation_model=VariationModel(), seed=9)
+        np.testing.assert_allclose(
+            fleet1[0]["IP_C"].deterministic_waveform(),
+            fleet2[0]["IP_C"].deterministic_waveform(),
+        )
+
+    def test_default_cycles_is_one_period(self):
+        refds, _duts = build_device_fleet(seed=1)
+        assert refds["IP_A"].default_cycles == PERIOD_CYCLES
+
+    def test_matching_pair_correlates_highest_deterministically(self):
+        refds, duts = build_device_fleet(
+            variation_model=VariationModel(), seed=2014
+        )
+        from repro.core.correlation import pearson
+
+        for ref_name, dut_name in EXPECTED_MATCHES.items():
+            ref_wave = refds[ref_name].deterministic_waveform()
+            correlations = {
+                name: pearson(ref_wave, dut.deterministic_waveform())
+                for name, dut in duts.items()
+            }
+            assert max(correlations, key=lambda n: correlations[n]) == dut_name

@@ -1,0 +1,155 @@
+"""Tests for distinguishers and confidence distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.distinguishers import (
+    ALL_DISTINGUISHERS,
+    FisherZMeanDistinguisher,
+    HigherMeanDistinguisher,
+    HigherMedianDistinguisher,
+    HigherMinimumDistinguisher,
+    LowerVarianceDistinguisher,
+    PAPER_DISTINGUISHERS,
+    confidence_distance_higher,
+    confidence_distance_lower,
+    max2,
+    min2,
+)
+
+
+class TestMax2Min2:
+    def test_max2(self):
+        assert max2([1.0, 5.0, 3.0]) == 3.0
+
+    def test_min2(self):
+        assert min2([1.0, 5.0, 3.0]) == 3.0
+
+    def test_with_duplicates(self):
+        assert max2([5.0, 5.0, 1.0]) == 5.0
+        assert min2([1.0, 1.0, 5.0]) == 1.0
+
+    def test_need_two_values(self):
+        with pytest.raises(ValueError):
+            max2([1.0])
+        with pytest.raises(ValueError):
+            min2([1.0])
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=20))
+    def test_max2_at_most_max(self, values):
+        assert max2(values) <= max(values)
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=20))
+    def test_min2_at_least_min(self, values):
+        assert min2(values) >= min(values)
+
+
+class TestConfidenceDistances:
+    def test_paper_table1_row_c(self):
+        # IP_C row: 0.733, 0.648, 0.947, 0.657 -> Delta_mean = 22.6 %.
+        scores = [0.733, 0.648, 0.947, 0.657]
+        assert confidence_distance_higher(scores) == pytest.approx(22.6, abs=0.05)
+
+    def test_paper_table1_row_b(self):
+        scores = [-0.104, 0.941, 0.473, 0.936]
+        assert confidence_distance_higher(scores) == pytest.approx(0.53, abs=0.05)
+
+    def test_paper_table2_row_c(self):
+        # IP_C row variances -> Delta_v = 99.2 %.
+        scores = [1.18e-4, 1.66e-4, 9.90e-7, 1.47e-4]
+        assert confidence_distance_lower(scores) == pytest.approx(99.2, abs=0.1)
+
+    def test_paper_table2_row_b(self):
+        scores = [2.925e-4, 1.928e-5, 3.008e-4, 3.502e-5]
+        assert confidence_distance_lower(scores) == pytest.approx(44.9, abs=0.1)
+
+    def test_tie_gives_zero(self):
+        assert confidence_distance_higher([0.5, 0.5, 0.1]) == 0.0
+        assert confidence_distance_lower([1e-5, 1e-5, 1e-4]) == 0.0
+
+    def test_zero_best_mean_guard(self):
+        assert confidence_distance_higher([0.0, -0.5]) == 0.0
+
+    def test_zero_second_variance_guard(self):
+        assert confidence_distance_lower([0.0, 0.0, 1.0]) == 0.0
+
+    def test_higher_distance_bounded_by_100_for_positive(self):
+        assert 0 <= confidence_distance_higher([1.0, 0.001]) <= 100
+
+
+def make_c_sets(rng, match="DUT#2"):
+    """Synthetic C sets: the match is high and tight, others lower/looser."""
+    c_sets = {}
+    for name in ("DUT#1", "DUT#2", "DUT#3"):
+        if name == match:
+            c_sets[name] = rng.normal(0.95, 0.002, size=20)
+        else:
+            c_sets[name] = rng.normal(0.6, 0.02, size=20)
+    return c_sets
+
+
+class TestIdentification:
+    def test_mean_distinguisher_picks_match(self, rng):
+        verdict = HigherMeanDistinguisher().identify(make_c_sets(rng))
+        assert verdict.chosen_dut == "DUT#2"
+        assert verdict.distinguisher == "higher-mean"
+
+    def test_variance_distinguisher_picks_match(self, rng):
+        verdict = LowerVarianceDistinguisher().identify(make_c_sets(rng))
+        assert verdict.chosen_dut == "DUT#2"
+
+    def test_all_distinguishers_pick_obvious_match(self, rng):
+        c_sets = make_c_sets(rng)
+        for distinguisher in ALL_DISTINGUISHERS:
+            assert distinguisher.identify(c_sets).chosen_dut == "DUT#2"
+
+    def test_verdict_scores_cover_all_duts(self, rng):
+        verdict = HigherMeanDistinguisher().identify(make_c_sets(rng))
+        assert set(verdict.scores) == {"DUT#1", "DUT#2", "DUT#3"}
+
+    def test_confidence_positive_for_clear_match(self, rng):
+        verdict = LowerVarianceDistinguisher().identify(make_c_sets(rng))
+        assert verdict.confidence_percent > 50
+
+    def test_needs_two_candidates(self, rng):
+        with pytest.raises(ValueError):
+            HigherMeanDistinguisher().identify({"only": np.zeros(5)})
+
+    def test_variance_beats_mean_on_near_collision(self, rng):
+        # Two DUTs with almost equal means but very different spreads —
+        # the situation of the paper's IP_B/IP_D rows.
+        c_sets = {
+            "match": rng.normal(0.940, 0.002, size=20),
+            "collision": rng.normal(0.935, 0.015, size=20),
+        }
+        mean_v = HigherMeanDistinguisher().identify(c_sets)
+        var_v = LowerVarianceDistinguisher().identify(c_sets)
+        assert var_v.chosen_dut == "match"
+        assert var_v.confidence_percent > mean_v.confidence_percent
+
+
+class TestScores:
+    def test_mean_score(self):
+        assert HigherMeanDistinguisher().score(np.array([0.2, 0.4])) == pytest.approx(0.3)
+
+    def test_variance_score(self):
+        data = np.array([0.2, 0.4])
+        assert LowerVarianceDistinguisher().score(data) == pytest.approx(np.var(data))
+
+    def test_median_score(self):
+        assert HigherMedianDistinguisher().score(np.array([0.1, 0.9, 0.5])) == 0.5
+
+    def test_minimum_score(self):
+        assert HigherMinimumDistinguisher().score(np.array([0.1, 0.9])) == pytest.approx(0.1)
+
+    def test_fisher_z_score_monotone_in_rho(self):
+        d = FisherZMeanDistinguisher()
+        assert d.score(np.array([0.99])) > d.score(np.array([0.94]))
+
+    def test_registry_contents(self):
+        names = [d.name for d in ALL_DISTINGUISHERS]
+        assert names[:2] == ["higher-mean", "lower-variance"]
+        assert len(PAPER_DISTINGUISHERS) == 2
+        assert len(set(names)) == len(names)

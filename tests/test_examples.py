@@ -1,0 +1,46 @@
+"""Smoke tests for the example scripts.
+
+Importing each example verifies its dependencies resolve; the
+quickstart is additionally executed end-to-end (the other examples run
+full paper-sized campaigns and are exercised by the benchmark suite
+and by running them directly).
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path):
+    name = f"example_{path.stem}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_exist():
+    names = {path.stem for path in EXAMPLE_FILES}
+    assert "quickstart" in names
+    assert len(names) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    module = load_example(path)
+    assert callable(getattr(module, "main", None)), f"{path.stem} lacks main()"
+    assert module.__doc__, f"{path.stem} lacks a module docstring"
+
+
+def test_quickstart_runs(capsys):
+    module = load_example(EXAMPLES_DIR / "quickstart.py")
+    module.main()
+    out = capsys.readouterr().out
+    assert "Both distinguishers agree" in out

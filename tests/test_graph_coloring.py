@@ -1,0 +1,118 @@
+"""Tests for the graph-coloring watermark baseline."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines.graph_coloring import (
+    GraphWatermark,
+    coincidence_probability,
+    embed_signature,
+    greedy_coloring,
+    is_proper_coloring,
+    overhead_in_colors,
+    verify_signature,
+)
+
+
+@pytest.fixture()
+def graph():
+    return nx.gnp_random_graph(40, 0.15, seed=7)
+
+
+SIGNATURE = (1, 0, 1, 1, 0, 1, 1, 1, 0, 1, 1, 0, 1, 1, 1, 1)
+
+
+class TestEmbedding:
+    def test_adds_edges_for_one_bits(self, graph):
+        constrained, watermark = embed_signature(graph, SIGNATURE, key=3)
+        added = constrained.number_of_edges() - graph.number_of_edges()
+        assert added == sum(SIGNATURE)
+
+    def test_pairs_were_non_adjacent(self, graph):
+        _constrained, watermark = embed_signature(graph, SIGNATURE, key=3)
+        for a, b in watermark.constrained_pairs:
+            assert not graph.has_edge(a, b)
+
+    def test_original_graph_untouched(self, graph):
+        edges_before = graph.number_of_edges()
+        embed_signature(graph, SIGNATURE, key=3)
+        assert graph.number_of_edges() == edges_before
+
+    def test_rejects_empty_signature(self, graph):
+        with pytest.raises(ValueError):
+            embed_signature(graph, (), key=1)
+
+    def test_rejects_non_bits(self, graph):
+        with pytest.raises(ValueError):
+            embed_signature(graph, (0, 2), key=1)
+
+    def test_dense_graph_raises(self):
+        complete = nx.complete_graph(6)
+        with pytest.raises(ValueError, match="non-adjacent"):
+            embed_signature(complete, (1,) * 4, key=1)
+
+    def test_watermark_record_validation(self):
+        with pytest.raises(ValueError):
+            GraphWatermark(key=1, signature=(1, 0), constrained_pairs=((0, 1),))
+
+
+class TestVerification:
+    def test_genuine_solution_verifies(self, graph):
+        constrained, watermark = embed_signature(graph, SIGNATURE, key=3)
+        coloring = greedy_coloring(constrained)
+        assert is_proper_coloring(constrained, coloring)
+        assert verify_signature(graph, coloring, watermark)
+
+    def test_unwatermarked_solution_usually_fails(self, graph):
+        _constrained, watermark = embed_signature(graph, SIGNATURE, key=3)
+        plain_coloring = greedy_coloring(graph)
+        probability = coincidence_probability(graph, watermark, trials=100, seed=1)
+        # With 11 one-bits the chance of accidental satisfaction is low;
+        # either the plain colouring fails directly or the empirical
+        # rate is clearly below one.
+        assert (not verify_signature(graph, plain_coloring, watermark)) or (
+            probability < 0.9
+        )
+
+    def test_wrong_key_fails_verification(self, graph):
+        constrained, watermark = embed_signature(graph, SIGNATURE, key=3)
+        coloring = greedy_coloring(constrained)
+        forged = GraphWatermark(
+            key=4,
+            signature=watermark.signature,
+            constrained_pairs=watermark.constrained_pairs,
+        )
+        assert not verify_signature(graph, coloring, forged)
+
+    def test_coincidence_probability_in_unit_interval(self, graph):
+        _c, watermark = embed_signature(graph, SIGNATURE, key=3)
+        probability = coincidence_probability(graph, watermark, trials=50, seed=2)
+        assert 0.0 <= probability <= 1.0
+
+    def test_longer_signature_lowers_coincidence(self):
+        graph = nx.gnp_random_graph(60, 0.12, seed=9)
+        _c1, short_wm = embed_signature(graph, (1,) * 4, key=5)
+        _c2, long_wm = embed_signature(graph, (1,) * 24, key=5)
+        p_short = coincidence_probability(graph, short_wm, trials=150, seed=3)
+        p_long = coincidence_probability(graph, long_wm, trials=150, seed=3)
+        assert p_long <= p_short
+
+    def test_coincidence_validation(self, graph):
+        _c, watermark = embed_signature(graph, SIGNATURE, key=3)
+        with pytest.raises(ValueError):
+            coincidence_probability(graph, watermark, trials=0)
+
+
+class TestOverhead:
+    def test_overhead_is_nonnegative_and_small(self, graph):
+        constrained, _wm = embed_signature(graph, SIGNATURE, key=3)
+        overhead = overhead_in_colors(graph, constrained)
+        assert 0 <= overhead <= 3
+
+    def test_proper_coloring_detection(self):
+        triangle = nx.complete_graph(3)
+        good = {0: 0, 1: 1, 2: 2}
+        bad = {0: 0, 1: 0, 2: 1}
+        assert is_proper_coloring(triangle, good)
+        assert not is_proper_coloring(triangle, bad)

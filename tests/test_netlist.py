@@ -1,0 +1,106 @@
+"""Tests for netlist assembly, validation and topological ordering."""
+
+import pytest
+
+from repro.hdl.combinational import Constant, Incrementer, LookupLogic, XorArray
+from repro.hdl.netlist import Netlist, NetlistError
+from repro.hdl.register import DRegister
+from repro.hdl.wires import Wire
+
+
+def make_counter_netlist(width=4):
+    netlist = Netlist("counter")
+    state = netlist.wire("state", width)
+    nxt = netlist.wire("next", width)
+    netlist.add(Incrementer("inc", state, nxt))
+    netlist.add(DRegister("reg", nxt, state))
+    return netlist
+
+
+class TestAssembly:
+    def test_duplicate_wire_rejected(self):
+        netlist = Netlist("n")
+        netlist.wire("w", 8)
+        with pytest.raises(NetlistError):
+            netlist.wire("w", 8)
+
+    def test_duplicate_component_rejected(self):
+        netlist = Netlist("n")
+        out1, out2 = netlist.wire("o1", 8), netlist.wire("o2", 8)
+        netlist.add(Constant("k", out1, 1))
+        with pytest.raises(NetlistError):
+            netlist.add(Constant("k", out2, 2))
+
+    def test_component_lookup(self):
+        netlist = make_counter_netlist()
+        assert netlist.component("inc").name == "inc"
+        with pytest.raises(KeyError):
+            netlist.component("missing")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Netlist("")
+
+    def test_component_partitions(self):
+        netlist = make_counter_netlist()
+        assert len(netlist.sequential_components) == 1
+        assert len(netlist.combinational_components) == 1
+
+
+class TestDriverChecks:
+    def test_double_driver_rejected(self):
+        netlist = Netlist("n")
+        out = netlist.wire("o", 8)
+        netlist.add(Constant("k1", out, 1))
+        netlist.add(Constant("k2", out, 2))
+        with pytest.raises(NetlistError, match="driven by both"):
+            netlist.validate()
+
+
+class TestTopologicalOrder:
+    def test_orders_by_dependency(self):
+        netlist = Netlist("n")
+        a = netlist.wire("a", 8)
+        b = netlist.wire("b", 8)
+        c = netlist.wire("c", 8)
+        k = netlist.wire("k", 8)
+        # Added in reverse dependency order on purpose.
+        netlist.add(XorArray("second", b, k, c))
+        netlist.add(LookupLogic("first", (a,), b, lambda x: x))
+        netlist.add(Constant("key", k, 0xFF))
+        order = [component.name for component in netlist.combinational_order()]
+        assert order.index("first") < order.index("second")
+        assert order.index("key") < order.index("second")
+
+    def test_combinational_loop_detected(self):
+        netlist = Netlist("n")
+        a = netlist.wire("a", 8)
+        b = netlist.wire("b", 8)
+        netlist.add(LookupLogic("f", (a,), b, lambda x: x))
+        netlist.add(LookupLogic("g", (b,), a, lambda x: x))
+        with pytest.raises(NetlistError, match="combinational loop"):
+            netlist.validate()
+
+    def test_register_breaks_loop(self):
+        # state -> inc -> next -> register -> state is fine.
+        netlist = make_counter_netlist()
+        netlist.validate()
+
+    def test_order_is_cached_until_mutation(self):
+        netlist = make_counter_netlist()
+        first = netlist.combinational_order()
+        assert netlist.combinational_order() is first
+        extra = netlist.wire("extra", 8)
+        netlist.add(Constant("k", extra, 1))
+        assert netlist.combinational_order() is not first
+
+
+class TestReset:
+    def test_reset_restores_and_settles(self):
+        netlist = make_counter_netlist()
+        state = netlist.wires["state"]
+        nxt = netlist.wires["next"]
+        netlist.reset()
+        assert state.value == 0
+        assert nxt.value == 1  # combinational logic settled after reset
+        assert state.previous == state.value

@@ -1,0 +1,168 @@
+"""Tests for the parameter-selection mathematics (Section V.B)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.parameters import (
+    PAPER_PLAN,
+    alpha_for_target_probability,
+    f_alpha_series,
+    minimal_m_near_limit,
+    plan_parameters,
+    reuse_probability,
+    reuse_probability_limit,
+    single_selection_probability,
+)
+
+alphas = st.floats(min_value=1.0, max_value=1000.0)
+ms = st.integers(min_value=1, max_value=500)
+
+
+class TestClosedForm:
+    def test_matches_binomial_form(self):
+        # P(zeta) = 1 - (1-p)^m - m p (1-p)^(m-1) with p = 1/(alpha m).
+        for alpha, m in ((10.0, 20), (2.0, 5), (100.0, 3)):
+            p = 1.0 / (alpha * m)
+            binomial = 1 - (1 - p) ** m - m * p * (1 - p) ** (m - 1)
+            assert reuse_probability(alpha, m) == pytest.approx(binomial, rel=1e-12)
+
+    def test_paper_value_at_alpha10_m20(self):
+        assert reuse_probability(10.0, 20) == pytest.approx(0.0045, abs=2e-4)
+
+    def test_single_selection_probability(self):
+        assert single_selection_probability(10.0, 20) == pytest.approx(1 / 200)
+
+    def test_m_one_is_zero(self):
+        # With a single selection there can be no cross-selection reuse.
+        assert reuse_probability(5.0, 1) == 0.0
+
+    @given(alphas, ms)
+    def test_is_a_probability(self, alpha, m):
+        value = reuse_probability(alpha, m)
+        assert 0.0 <= value <= 1.0
+
+    @given(alphas)
+    def test_increasing_in_m(self, alpha):
+        values = [reuse_probability(alpha, m) for m in range(1, 60)]
+        assert all(b >= a - 1e-15 for a, b in zip(values, values[1:]))
+
+    @given(ms)
+    def test_decreasing_in_alpha(self, m):
+        values = [reuse_probability(alpha, m) for alpha in (1, 2, 5, 10, 100)]
+        assert all(b <= a + 1e-15 for a, b in zip(values, values[1:]))
+
+    def test_independent_of_k(self):
+        # The paper: "this probability does not depend on the parameter
+        # k" — k never enters the formula, verified by the signature.
+        assert reuse_probability(10.0, 20) == reuse_probability(10.0, 20)
+
+    def test_rejects_alpha_below_one(self):
+        with pytest.raises(ValueError):
+            reuse_probability(0.5, 10)
+
+    def test_rejects_nonpositive_m(self):
+        with pytest.raises(ValueError):
+            reuse_probability(10.0, 0)
+
+
+class TestLimit:
+    def test_paper_limit_at_alpha_10(self):
+        expected = 1 - (11 / 10) * math.exp(-0.1)
+        assert reuse_probability_limit(10.0) == pytest.approx(expected)
+        assert reuse_probability_limit(10.0) == pytest.approx(0.00468, abs=1e-5)
+
+    @given(alphas)
+    def test_limit_is_supremum(self, alpha):
+        limit = reuse_probability_limit(alpha)
+        assert reuse_probability(alpha, 400) <= limit + 1e-12
+
+    @given(alphas)
+    def test_convergence(self, alpha):
+        limit = reuse_probability_limit(alpha)
+        value = reuse_probability(alpha, 100_000)
+        assert value == pytest.approx(limit, rel=1e-3, abs=1e-9)
+
+    def test_property_p1_limit_alpha_to_infinity(self):
+        values = [reuse_probability_limit(a) for a in (1, 10, 100, 10_000)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+        assert values[-1] < 1e-8
+
+
+class TestMinimalM:
+    def test_near_paper_graphical_read(self):
+        # The paper reads m >= 17 off Fig. 5; the exact computation
+        # lands within a couple of steps of that.
+        m = minimal_m_near_limit(10.0, rel_tol=0.05)
+        assert 15 <= m <= 20
+
+    def test_tighter_tolerance_needs_larger_m(self):
+        loose = minimal_m_near_limit(10.0, rel_tol=0.10)
+        tight = minimal_m_near_limit(10.0, rel_tol=0.01)
+        assert tight > loose
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            minimal_m_near_limit(10.0, rel_tol=0.0)
+
+    def test_series_shape(self):
+        series = f_alpha_series(10.0, 50)
+        assert len(series) == 50
+        assert series[0][0] == 1
+        assert series[-1][0] == 50
+
+
+class TestAlphaForTarget:
+    def test_round_trip(self):
+        alpha = alpha_for_target_probability(0.001)
+        assert reuse_probability_limit(alpha) == pytest.approx(0.001, rel=1e-3)
+
+    def test_monotone(self):
+        a1 = alpha_for_target_probability(0.01)
+        a2 = alpha_for_target_probability(0.001)
+        assert a2 > a1
+
+    def test_loose_target_returns_alpha_one(self):
+        assert alpha_for_target_probability(0.5) == 1.0
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            alpha_for_target_probability(0.0)
+
+
+class TestPlanner:
+    def test_paper_plan_constants(self):
+        p = PAPER_PLAN.parameters
+        assert (p.k, p.m, p.n1, p.n2) == (50, 20, 400, 10_000)
+        assert PAPER_PLAN.alpha == 10.0
+        assert PAPER_PLAN.p_zeta == pytest.approx(0.0045, abs=2e-4)
+
+    def test_plan_derives_n2(self):
+        plan = plan_parameters(k=50, alpha=10.0, m=20)
+        assert plan.parameters.n2 == 10_000
+
+    def test_plan_auto_m(self):
+        plan = plan_parameters(k=50, alpha=10.0, rel_tol=0.05)
+        assert 15 <= plan.parameters.m <= 20
+
+    def test_plan_respects_expressions(self):
+        plan = plan_parameters(k=25, alpha=4.0)
+        p = plan.parameters
+        assert p.n1 >= p.k
+        assert p.n2 >= p.k * p.m
+
+    def test_plan_custom_n1(self):
+        plan = plan_parameters(k=10, alpha=10.0, n1=77, m=5)
+        assert plan.parameters.n1 == 77
+
+    def test_plan_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            plan_parameters(k=0)
+
+    def test_k_does_not_change_p_zeta(self):
+        # Section V.B: k only affects measurement time.
+        plan_a = plan_parameters(k=10, alpha=10.0, m=20)
+        plan_b = plan_parameters(k=500, alpha=10.0, m=20)
+        assert plan_a.p_zeta == plan_b.p_zeta

@@ -1,0 +1,112 @@
+"""Tests for the power model."""
+
+import numpy as np
+import pytest
+
+from repro.fsm.counters import build_binary_counter
+from repro.hdl.component import KIND_COMB, KIND_IO, KIND_REGISTER
+from repro.hdl.netlist import Netlist
+from repro.hdl.simulator import Simulator
+from repro.power.models import (
+    DEFAULT_KIND_WEIGHTS,
+    PowerModel,
+    cycle_power_breakdown,
+    variance_share,
+)
+
+
+def counter_activity(width=8, cycles=64):
+    netlist = Netlist("ctr")
+    build_binary_counter(netlist, width)
+    return Simulator(netlist).run(cycles)
+
+
+class TestPowerModel:
+    def test_default_weights_cover_all_kinds(self):
+        model = PowerModel()
+        for kind in ("register", "comb", "ram", "io", "clock"):
+            assert model.weight_for("x", kind) >= 0
+
+    def test_io_heavier_than_comb_by_default(self):
+        assert DEFAULT_KIND_WEIGHTS[KIND_IO] > DEFAULT_KIND_WEIGHTS[KIND_COMB]
+
+    def test_cycle_power_includes_static(self):
+        model = PowerModel(static_power=2.5)
+        trace = counter_activity()
+        power = model.cycle_power(trace)
+        assert np.all(power >= 2.5)
+
+    def test_component_scale_multiplies(self):
+        model = PowerModel(component_scale={"ctr_reg": 2.0})
+        assert model.weight_for("ctr_reg", KIND_REGISTER) == 2.0
+        assert model.weight_for("other", KIND_REGISTER) == 1.0
+
+    def test_with_component_scales_composes(self):
+        model = PowerModel(component_scale={"a": 2.0})
+        scaled = model.with_component_scales({"a": 3.0, "b": 0.5})
+        assert scaled.weight_for("a", KIND_REGISTER) == 6.0
+        assert scaled.weight_for("b", KIND_REGISTER) == 0.5
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            PowerModel(kind_weights={"register": -1.0})
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            PowerModel(kind_weights={"magic": 1.0})
+
+    def test_rejects_negative_static(self):
+        with pytest.raises(ValueError):
+            PowerModel(static_power=-0.1)
+
+    def test_rejects_negative_scale(self):
+        with pytest.raises(ValueError):
+            PowerModel(component_scale={"a": -1.0})
+
+    def test_weight_for_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            PowerModel().weight_for("a", "bogus")
+
+    def test_channel_weights_align_with_channels(self):
+        trace = counter_activity()
+        model = PowerModel()
+        weights = model.channel_weights(trace)
+        assert weights.shape == (trace.n_channels,)
+
+    def test_cycle_power_is_linear_in_weights(self):
+        trace = counter_activity()
+        base = PowerModel(static_power=0.0)
+        doubled = PowerModel(
+            kind_weights={k: 2 * v for k, v in DEFAULT_KIND_WEIGHTS.items()},
+            static_power=0.0,
+        )
+        np.testing.assert_allclose(
+            doubled.cycle_power(trace), 2 * base.cycle_power(trace)
+        )
+
+
+class TestBreakdown:
+    def test_breakdown_sums_to_dynamic_power(self):
+        trace = counter_activity()
+        model = PowerModel(static_power=0.0)
+        breakdown = cycle_power_breakdown(model, trace)
+        total = sum(breakdown.values())
+        np.testing.assert_allclose(total, model.cycle_power(trace))
+
+    def test_variance_share_sums_near_one_for_uncorrelated(self):
+        trace = counter_activity()
+        shares = variance_share(PowerModel(), trace)
+        assert all(share >= 0 for share in shares.values())
+
+    def test_clock_share_is_zero(self):
+        # The clock is constant, so it contributes no variance.
+        trace = counter_activity()
+        shares = variance_share(PowerModel(), trace)
+        assert shares["clock"] == 0.0
+
+    def test_zero_variance_trace(self):
+        from repro.hdl.activity import ActivityTrace, Channel
+
+        trace = ActivityTrace([Channel("c", "clock")], np.ones((4, 1)))
+        shares = variance_share(PowerModel(static_power=0.0), trace)
+        assert shares == {"clock": 0.0}

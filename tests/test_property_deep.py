@@ -1,0 +1,117 @@
+"""Deeper property-based tests across the substrate.
+
+These complement the per-module suites with algebraic laws and
+distributional checks that only make sense across module boundaries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.averaging import k_averaged_set
+from repro.core.correlation import pearson_many
+from repro.core.distinguishers import max2, min2
+from repro.core.parameters import reuse_probability
+from repro.acquisition.traces import TraceSet
+from repro.crypto.gf256 import gf_mul, gf_pow
+from repro.fsm.encoding import gray_decode, gray_encode
+from repro.hdl.wires import hamming_distance
+
+bytes_ = st.integers(min_value=0, max_value=255)
+small_exponents = st.integers(min_value=0, max_value=30)
+
+
+class TestGFAlgebraicLaws:
+    @given(bytes_, small_exponents, small_exponents)
+    def test_power_addition_law(self, a, m, n):
+        if a == 0 and (m == 0 or n == 0):
+            return  # 0^0 convention makes the law degenerate at zero
+        assert gf_pow(a, m + n) == gf_mul(gf_pow(a, m), gf_pow(a, n))
+
+    @given(bytes_, bytes_, small_exponents)
+    def test_power_distributes_over_product(self, a, b, n):
+        assert gf_pow(gf_mul(a, b), n) == gf_mul(gf_pow(a, n), gf_pow(b, n))
+
+    @given(bytes_)
+    def test_frobenius_squaring_is_additive(self, a):
+        # In characteristic 2: (x + y)^2 = x^2 + y^2.
+        for b in (0x01, 0x35, 0xF0):
+            left = gf_pow(a ^ b, 2)
+            right = gf_pow(a, 2) ^ gf_pow(b, 2)
+            assert left == right
+
+
+class TestGrayCodeWidths:
+    @given(st.integers(min_value=2, max_value=12), st.data())
+    def test_roundtrip_any_width(self, width, data):
+        index = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        assert gray_decode(gray_encode(index, width), width) == index
+
+    @given(st.integers(min_value=2, max_value=12))
+    def test_full_sequence_is_single_bit_any_width(self, width):
+        n = 1 << width
+        codes = [gray_encode(i, width) for i in range(n)]
+        for a, b in zip(codes, codes[1:] + codes[:1]):
+            assert hamming_distance(a, b) == 1
+
+
+class TestSelectionDistribution:
+    def test_k_averaged_rows_are_unbiased(self):
+        # The estimator mean over many draws converges on the pool mean.
+        rng = np.random.default_rng(0)
+        pool = TraceSet("d", rng.normal(3.0, 1.0, size=(400, 16)))
+        a_set = k_averaged_set(pool, 25, 200, rng)
+        np.testing.assert_allclose(
+            a_set.mean(axis=0), pool.mean_trace(), atol=0.1
+        )
+
+    def test_reuse_probability_matches_binomial_tail_identity(self):
+        # 1 - P(zeta) must equal P(X <= 1) for X ~ Binomial(m, 1/(alpha m)).
+        from scipy.stats import binom
+
+        for alpha, m in ((3.0, 7), (10.0, 20), (50.0, 4)):
+            p = 1.0 / (alpha * m)
+            expected = float(binom.cdf(1, m, p))
+            assert 1 - reuse_probability(alpha, m) == pytest.approx(expected)
+
+
+class TestDistinguisherHelpers:
+    @given(st.lists(st.floats(-10, 10), min_size=2, max_size=30))
+    def test_max2_min2_duality(self, values):
+        negated = [-v for v in values]
+        assert max2(values) == pytest.approx(-min2(negated))
+
+    @given(st.lists(st.floats(-10, 10), min_size=2, max_size=30))
+    def test_max2_is_max_of_remainder(self, values):
+        top_index = int(np.argmax(values))
+        remainder = values[:top_index] + values[top_index + 1 :]
+        assert max2(values) == pytest.approx(max(remainder))
+
+
+class TestPearsonManyLaws:
+    @settings(max_examples=20)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_row_permutation_equivariance(self, seed):
+        rng = np.random.default_rng(seed)
+        reference = rng.normal(size=24)
+        traces = rng.normal(size=(6, 24))
+        base = pearson_many(reference, traces)
+        order = rng.permutation(6)
+        permuted = pearson_many(reference, traces[order])
+        np.testing.assert_allclose(permuted, base[order], atol=1e-12)
+
+    @settings(max_examples=20)
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=0.1, max_value=5.0),
+    )
+    def test_row_scale_invariance(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        reference = rng.normal(size=24)
+        traces = rng.normal(size=(4, 24))
+        np.testing.assert_allclose(
+            pearson_many(reference, traces * scale),
+            pearson_many(reference, traces),
+            atol=1e-9,
+        )

@@ -1,0 +1,154 @@
+"""Tests for registers, ROM and I/O components."""
+
+import pytest
+
+from repro.crypto.sbox import SBOX
+from repro.hdl.component import KIND_CLOCK, KIND_IO, KIND_RAM, KIND_REGISTER
+from repro.hdl.io import ClockTree, InputPort, OutputPort
+from repro.hdl.memory import SyncROM
+from repro.hdl.register import DRegister
+from repro.hdl.wires import Wire
+
+
+class TestDRegister:
+    def make(self, reset_value=0):
+        d, q = Wire("d", 8), Wire("q", 8)
+        return DRegister("reg", d, q, reset_value=reset_value), d, q
+
+    def test_powers_on_at_reset_value(self):
+        register, _d, q = self.make(reset_value=7)
+        assert q.value == 7
+
+    def test_capture_commit_cycle(self):
+        register, d, q = self.make()
+        d.drive(0x42)
+        register.capture()
+        assert q.value == 0  # not visible until commit
+        register.commit()
+        assert q.value == 0x42
+
+    def test_activity_is_hamming_distance(self):
+        register, d, q = self.make()
+        d.drive(0x0F)
+        register.capture()
+        register.commit()
+        events = register.activity()
+        assert events[0].kind == KIND_REGISTER
+        assert events[0].amount == 4.0
+
+    def test_reset_restores_state(self):
+        register, d, q = self.make(reset_value=3)
+        d.drive(0xFF)
+        register.capture()
+        register.commit()
+        register.reset()
+        assert q.value == 3
+        assert register.activity()[0].amount == 0.0
+
+    def test_rejects_width_mismatch(self):
+        with pytest.raises(ValueError):
+            DRegister("r", Wire("d", 8), Wire("q", 4))
+
+    def test_rejects_reset_overflow(self):
+        with pytest.raises(ValueError):
+            DRegister("r", Wire("d", 4), Wire("q", 4), reset_value=16)
+
+    def test_width_property(self):
+        register, _d, _q = self.make()
+        assert register.width == 8
+
+
+class TestSyncROM:
+    def make_sbox_rom(self):
+        address, data = Wire("addr", 8), Wire("data", 8)
+        return SyncROM("rom", address, data, list(SBOX)), address, data
+
+    def test_reads_contents(self):
+        rom, address, data = self.make_sbox_rom()
+        address.drive(0x53)
+        rom.evaluate()
+        assert data.value == SBOX[0x53] == 0xED
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            SyncROM("rom", Wire("a", 8), Wire("d", 8), [0] * 255)
+
+    def test_rejects_wide_word(self):
+        with pytest.raises(ValueError):
+            SyncROM("rom", Wire("a", 2), Wire("d", 4), [0, 1, 2, 16])
+
+    def test_activity_includes_precharge(self):
+        rom, address, data = self.make_sbox_rom()
+        address.drive(0)
+        rom.evaluate()
+        address.latch_previous()
+        data.latch_previous()
+        rom.evaluate()
+        events = rom.activity()
+        assert events[0].kind == KIND_RAM
+        # Same address, same data: only the precharge term remains.
+        assert events[0].amount == rom.precharge_activity
+
+    def test_activity_counts_decoder_and_bitlines(self):
+        rom, address, data = self.make_sbox_rom()
+        address.drive(0)
+        rom.evaluate()
+        address.latch_previous()
+        data.latch_previous()
+        address.drive(0xFF)
+        rom.evaluate()
+        events = rom.activity()
+        expected = 8 + bin(SBOX[0] ^ SBOX[0xFF]).count("1") + 1.0
+        assert events[0].amount == expected
+
+    def test_rejects_negative_precharge(self):
+        with pytest.raises(ValueError):
+            SyncROM("rom", Wire("a", 1), Wire("d", 8), [0, 1], precharge_activity=-1)
+
+
+class TestOutputPort:
+    def test_activity_follows_source(self):
+        source = Wire("s", 8)
+        port = OutputPort("pads", source)
+        source.drive(0xF0)
+        events = port.activity()
+        assert events[0].kind == KIND_IO
+        assert events[0].amount == 4.0
+
+
+class TestInputPort:
+    def test_constant_default_stimulus(self):
+        target = Wire("t", 4)
+        port = InputPort("in", target)
+        port.evaluate()
+        assert target.value == 0
+
+    def test_custom_stimulus_advances(self):
+        target = Wire("t", 4)
+        port = InputPort("in", target, stimulus=lambda cycle: cycle % 16)
+        port.evaluate()
+        assert target.value == 0
+        port.advance_cycle()
+        port.evaluate()
+        assert target.value == 1
+
+    def test_reset_rewinds_stimulus(self):
+        target = Wire("t", 4)
+        port = InputPort("in", target, stimulus=lambda cycle: cycle % 16)
+        port.advance_cycle()
+        port.advance_cycle()
+        port.reset()
+        port.evaluate()
+        assert target.value == 0
+
+
+class TestClockTree:
+    def test_constant_activity(self):
+        clock = ClockTree("clk", 12.0)
+        events = clock.activity()
+        assert events[0].kind == KIND_CLOCK
+        assert events[0].amount == 12.0
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ValueError):
+            ClockTree("clk", -1.0)

@@ -1,0 +1,127 @@
+"""Integration tests: the full paper campaign on simulated hardware.
+
+These use the session-scoped ``paper_campaign`` fixture (n1 = 400,
+n2 = 10 000, k = 50, m = 20 — the paper's exact parameters).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.designs import EXPECTED_MATCHES
+from repro.experiments.runner import (
+    CampaignConfig,
+    DUT_ORDER,
+    REF_ORDER,
+    run_campaign,
+)
+from repro.core.process import ProcessParameters
+
+
+class TestPaperCampaign:
+    def test_all_sixteen_sets_present(self, paper_campaign):
+        for ref in REF_ORDER:
+            sets = paper_campaign.correlation_sets(ref)
+            assert set(sets) == set(DUT_ORDER)
+            for c in sets.values():
+                assert c.shape == (20,)
+
+    def test_mean_distinguisher_identifies_every_row(self, paper_campaign):
+        assert paper_campaign.accuracy("higher-mean") == 1.0
+
+    def test_variance_distinguisher_identifies_every_row(self, paper_campaign):
+        assert paper_campaign.accuracy("lower-variance") == 1.0
+
+    def test_verdict_matrix_is_diagonal(self, paper_campaign):
+        matrix = paper_campaign.verdict_matrix()
+        for ref in REF_ORDER:
+            for chosen in matrix[ref].values():
+                assert chosen == EXPECTED_MATCHES[ref]
+
+    def test_all_correct_flag(self, paper_campaign):
+        assert paper_campaign.all_correct
+
+    def test_matching_means_high(self, paper_campaign):
+        # The diagonal means sit in the high-correlation regime, as in
+        # the paper's Table I (0.936..0.947).
+        for ref in REF_ORDER:
+            match = EXPECTED_MATCHES[ref]
+            assert paper_campaign.means[ref][match] > 0.9
+
+    def test_matching_variances_small(self, paper_campaign):
+        # Diagonal variances are tiny, as in Table II (1e-6..2e-5).
+        for ref in REF_ORDER:
+            match = EXPECTED_MATCHES[ref]
+            assert paper_campaign.variances[ref][match] < 1e-4
+
+    def test_variance_confidence_exceeds_mean_confidence(self, paper_campaign):
+        # The paper's central finding (Section V.A).
+        mean_deltas = paper_campaign.confidence_distances("higher-mean")
+        var_deltas = paper_campaign.confidence_distances("lower-variance")
+        for ref in REF_ORDER:
+            assert var_deltas[ref] > mean_deltas[ref]
+
+    def test_variance_confidence_in_papers_regime(self, paper_campaign):
+        # Paper: Delta_v in [44.9 %, 99.2 %].  Same order of magnitude.
+        var_deltas = paper_campaign.confidence_distances("lower-variance")
+        for ref in REF_ORDER:
+            assert var_deltas[ref] > 20.0
+
+    def test_coefficients_bounded(self, paper_campaign):
+        for ref in REF_ORDER:
+            for c in paper_campaign.correlation_sets(ref).values():
+                assert np.all(c <= 1.0)
+                assert np.all(c >= -1.0)
+
+
+class TestSmallCampaignVariants:
+    # Smaller than the paper's plan, but with enough k and m that the
+    # variance estimate over the C set stays stable (m = 10 would make
+    # the lower-variance verdict flaky — exactly why the paper uses
+    # m = 20).
+    SMALL = ProcessParameters(k=40, m=16, n1=320, n2=6400)
+
+    def test_no_variation_ablation_still_identifies(self):
+        # E6: disabling process variation cannot hurt.
+        config = CampaignConfig(
+            parameters=self.SMALL, variation=None, measurement_seed=11
+        )
+        outcome = run_campaign(config)
+        assert outcome.accuracy("lower-variance") == 1.0
+        assert outcome.accuracy("higher-mean") == 1.0
+
+    def test_fresh_reference_ablation_runs(self):
+        # E8: the non-single-reference variant still completes (its
+        # statistical cost is measured in the benchmark).
+        config = CampaignConfig(
+            parameters=self.SMALL, single_reference=False, measurement_seed=12
+        )
+        outcome = run_campaign(config)
+        assert set(outcome.reports) == set(REF_ORDER)
+
+    def test_unwatermarked_ablation_causes_collisions(self):
+        # E9: without the leakage component, IP_B/C/D are identical
+        # designs — the gray rows cannot be reliably separated.
+        config = CampaignConfig(
+            parameters=self.SMALL,
+            watermarked=False,
+            variation=None,
+            measurement_seed=13,
+        )
+        outcome = run_campaign(config)
+        gray_rows = ("IP_B", "IP_C", "IP_D")
+        for ref in gray_rows:
+            means = outcome.means[ref]
+            gray_means = [means[d] for d in ("DUT#2", "DUT#3", "DUT#4")]
+            # All gray DUTs collide at essentially the same mean.
+            assert max(gray_means) - min(gray_means) < 0.02
+
+    def test_campaign_reproducibility(self):
+        config = CampaignConfig(parameters=self.SMALL, measurement_seed=14)
+        o1 = run_campaign(config)
+        o2 = run_campaign(config)
+        for ref in REF_ORDER:
+            for dut in DUT_ORDER:
+                np.testing.assert_allclose(
+                    o1.reports[ref].results[dut].coefficients,
+                    o2.reports[ref].results[dut].coefficients,
+                )

@@ -1,0 +1,148 @@
+"""Tests for the cycle-accurate simulator and activity traces."""
+
+import numpy as np
+import pytest
+
+from repro.fsm.counters import build_binary_counter, build_gray_counter
+from repro.hdl.activity import ActivityTrace, Channel
+from repro.hdl.component import KIND_COMB, KIND_REGISTER
+from repro.hdl.io import InputPort
+from repro.hdl.netlist import Netlist
+from repro.hdl.register import DRegister
+from repro.hdl.simulator import Simulator
+from repro.hdl.wires import Wire
+
+
+def binary_counter_netlist(width=8):
+    netlist = Netlist("bin")
+    build_binary_counter(netlist, width)
+    return netlist
+
+
+class TestSimulatorFunctional:
+    def test_binary_counter_counts(self):
+        simulator = Simulator(binary_counter_netlist())
+        sequence = simulator.state_sequence("ctr_reg", 10)
+        assert sequence == [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+
+    def test_binary_counter_wraps(self):
+        simulator = Simulator(binary_counter_netlist(width=4))
+        sequence = simulator.state_sequence("ctr_reg", 20)
+        assert sequence == [(i + 1) % 16 for i in range(20)]
+
+    def test_gray_counter_single_bit_steps(self):
+        netlist = Netlist("gray")
+        build_gray_counter(netlist, 8)
+        simulator = Simulator(netlist)
+        sequence = simulator.state_sequence("ctr_reg", 256)
+        full = [0] + sequence
+        for a, b in zip(full, full[1:]):
+            assert bin(a ^ b).count("1") == 1
+
+    def test_input_port_drives_register(self):
+        netlist = Netlist("io")
+        data = netlist.wire("data", 4)
+        q = netlist.wire("q", 4)
+        netlist.add(InputPort("in", data, stimulus=lambda cycle: cycle % 16))
+        netlist.add(DRegister("reg", data, q))
+        simulator = Simulator(netlist)
+        # The first edge captures stimulus(0); the port then advances.
+        sequence = simulator.state_sequence("reg", 5)
+        assert sequence == [0, 1, 2, 3, 4]
+
+
+class TestSimulatorActivity:
+    def test_run_shapes(self):
+        simulator = Simulator(binary_counter_netlist())
+        trace = simulator.run(256)
+        assert trace.n_cycles == 256
+        assert trace.n_channels >= 3
+
+    def test_register_activity_matches_hd(self):
+        simulator = Simulator(binary_counter_netlist())
+        trace = simulator.run(8)
+        series = trace.component_series("ctr_reg")
+        # HD(i, i+1) for i = 0..7 is 1,2,1,3,1,2,1,4.
+        assert list(series) == [1, 2, 1, 3, 1, 2, 1, 4]
+
+    def test_binary_counter_period_in_activity(self):
+        simulator = Simulator(binary_counter_netlist())
+        trace = simulator.run(512)
+        series = trace.component_series("ctr_reg")
+        assert np.array_equal(series[:256], series[256:])
+
+    def test_determinism_across_runs(self):
+        trace1 = Simulator(binary_counter_netlist()).run(64)
+        trace2 = Simulator(binary_counter_netlist()).run(64)
+        assert np.array_equal(trace1.matrix, trace2.matrix)
+
+    def test_reset_between_runs(self):
+        simulator = Simulator(binary_counter_netlist())
+        first = simulator.run(32)
+        second = simulator.run(32)
+        assert np.array_equal(first.matrix, second.matrix)
+
+    def test_rejects_nonpositive_cycles(self):
+        simulator = Simulator(binary_counter_netlist())
+        with pytest.raises(ValueError):
+            simulator.run(0)
+
+    def test_clock_channel_is_constant(self):
+        simulator = Simulator(binary_counter_netlist())
+        trace = simulator.run(16)
+        clock = trace.component_series("ctr_clk")
+        assert np.all(clock == clock[0])
+        assert clock[0] > 0
+
+
+class TestActivityTrace:
+    def make_trace(self):
+        channels = [Channel("a", KIND_REGISTER), Channel("b", KIND_COMB)]
+        matrix = np.array([[1.0, 2.0], [3.0, 4.0]])
+        return ActivityTrace(channels, matrix)
+
+    def test_component_series(self):
+        trace = self.make_trace()
+        assert list(trace.component_series("a")) == [1.0, 3.0]
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(KeyError):
+            self.make_trace().component_series("zzz")
+
+    def test_kind_series_sums(self):
+        trace = self.make_trace()
+        assert list(trace.kind_series(KIND_COMB)) == [2.0, 4.0]
+
+    def test_kind_series_missing_kind_is_zero(self):
+        trace = self.make_trace()
+        assert list(trace.kind_series("io")) == [0.0, 0.0]
+
+    def test_total_series(self):
+        trace = self.make_trace()
+        assert list(trace.total_series()) == [3.0, 7.0]
+
+    def test_weighted_series(self):
+        trace = self.make_trace()
+        assert list(trace.weighted_series([2.0, 0.5])) == [3.0, 8.0]
+
+    def test_weighted_series_shape_check(self):
+        with pytest.raises(ValueError):
+            self.make_trace().weighted_series([1.0])
+
+    def test_rejects_negative_activity(self):
+        channels = [Channel("a", KIND_REGISTER)]
+        with pytest.raises(ValueError):
+            ActivityTrace(channels, np.array([[-1.0]]))
+
+    def test_rejects_channel_mismatch(self):
+        channels = [Channel("a", KIND_REGISTER)]
+        with pytest.raises(ValueError):
+            ActivityTrace(channels, np.zeros((2, 2)))
+
+    def test_kinds_in_order(self):
+        trace = self.make_trace()
+        assert trace.kinds() == [KIND_REGISTER, KIND_COMB]
+
+    def test_channel_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Channel("a", "nope")

@@ -1,0 +1,146 @@
+"""Tests for the table/figure reproduction drivers."""
+
+import pytest
+
+from repro.core.distinguishers import (
+    confidence_distance_higher,
+    confidence_distance_lower,
+)
+from repro.experiments.figure4 import (
+    figure4_panels,
+    figure4_shape_holds,
+    render_figure4,
+    render_panel_ascii,
+)
+from repro.experiments.figure5 import (
+    PAPER_M_MAX,
+    figure5_data,
+    figure5_shape_holds,
+    render_figure5,
+)
+from repro.experiments.runner import DUT_ORDER, REF_ORDER
+from repro.experiments.tables import (
+    PAPER_TABLE1_DELTAS,
+    PAPER_TABLE1_MEANS,
+    PAPER_TABLE2_DELTAS,
+    PAPER_TABLE2_VARIANCES,
+    compare_table1,
+    compare_table2,
+    render_paper_table1,
+    render_paper_table2,
+    render_table1,
+    render_table2,
+)
+
+
+class TestPaperConstants:
+    def test_table1_deltas_consistent_with_means(self):
+        # The published Delta_mean values follow from the published
+        # means via the confidence-distance formula.
+        for ref, per_dut in PAPER_TABLE1_MEANS.items():
+            delta = confidence_distance_higher(list(per_dut.values()))
+            assert delta == pytest.approx(PAPER_TABLE1_DELTAS[ref], abs=0.31)
+
+    def test_table2_deltas_consistent_with_variances(self):
+        for ref, per_dut in PAPER_TABLE2_VARIANCES.items():
+            delta = confidence_distance_lower(list(per_dut.values()))
+            assert delta == pytest.approx(PAPER_TABLE2_DELTAS[ref], abs=0.4)
+
+    def test_paper_diagonals_win(self):
+        for ref, dut in (
+            ("IP_A", "DUT#1"),
+            ("IP_B", "DUT#2"),
+            ("IP_C", "DUT#3"),
+            ("IP_D", "DUT#4"),
+        ):
+            row1 = PAPER_TABLE1_MEANS[ref]
+            row2 = PAPER_TABLE2_VARIANCES[ref]
+            assert max(row1, key=lambda d: row1[d]) == dut
+            assert min(row2, key=lambda d: row2[d]) == dut
+
+
+class TestTableComparisons:
+    def test_table1_diagonal_wins(self, paper_campaign):
+        comparison = compare_table1(paper_campaign)
+        assert comparison.diagonal_wins
+
+    def test_table2_diagonal_wins(self, paper_campaign):
+        comparison = compare_table2(paper_campaign)
+        assert comparison.diagonal_wins
+
+    def test_variance_deltas_dominate_mean_deltas(self, paper_campaign):
+        t1 = compare_table1(paper_campaign)
+        t2 = compare_table2(paper_campaign)
+        for ref in REF_ORDER:
+            assert t2.measured_deltas[ref] > t1.measured_deltas[ref]
+
+    def test_rendered_tables_contain_all_cells(self, paper_campaign):
+        text1 = render_table1(paper_campaign)
+        text2 = render_table2(paper_campaign)
+        for name in REF_ORDER + DUT_ORDER:
+            assert name in text1
+            assert name in text2
+        assert "Delta_mean" in text1
+        assert "Delta_v" in text2
+
+    def test_paper_table_renderers(self):
+        assert "0.947" in render_paper_table1()
+        assert "9.900e-07" in render_paper_table2()
+
+
+class TestFigure4:
+    def test_panels_from_existing_campaign(self, paper_campaign):
+        panels = figure4_panels(outcome=paper_campaign)
+        assert set(panels) == set(REF_ORDER)
+
+    def test_shape_holds(self, paper_campaign):
+        panels = figure4_panels(outcome=paper_campaign)
+        assert figure4_shape_holds(panels)
+
+    def test_concatenated_series_has_80_points(self, paper_campaign):
+        panels = figure4_panels(outcome=paper_campaign)
+        values, labels = panels["IP_A"].concatenated()
+        assert values.shape == (80,)
+        assert len(labels) == 80
+
+    def test_ascii_rendering(self, paper_campaign):
+        panels = figure4_panels(outcome=paper_campaign)
+        text = render_panel_ascii(panels["IP_B"])
+        assert "IP_B" in text
+        assert "legend" in text
+
+    def test_full_figure_rendering(self, paper_campaign):
+        text = render_figure4(figure4_panels(outcome=paper_campaign))
+        for ref in REF_ORDER:
+            assert ref in text
+
+    def test_render_height_validation(self, paper_campaign):
+        panels = figure4_panels(outcome=paper_campaign)
+        with pytest.raises(ValueError):
+            render_panel_ascii(panels["IP_A"], height=2)
+
+
+class TestFigure5:
+    def test_data_fields(self):
+        data = figure5_data()
+        assert len(data.series) == PAPER_M_MAX
+        assert data.limit == pytest.approx(0.004679, abs=1e-5)
+        assert data.p_zeta_at_paper_m == pytest.approx(0.0045, abs=2e-4)
+
+    def test_minimal_m_near_paper(self):
+        data = figure5_data()
+        assert abs(data.min_m_within_5pct - 17) <= 3
+
+    def test_shape_holds(self):
+        assert figure5_shape_holds(figure5_data())
+
+    def test_render(self):
+        text = render_figure5(figure5_data())
+        assert "alpha" in text
+        assert "*" in text
+
+    def test_custom_alpha(self):
+        import math
+
+        data = figure5_data(alpha=2.0)
+        assert data.limit == pytest.approx(1 - 1.5 * math.exp(-0.5), rel=1e-9)

@@ -1,0 +1,151 @@
+"""Tests for trace-set persistence."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.acquisition.io import (
+    load_campaign,
+    load_trace_set,
+    save_campaign,
+    save_trace_set,
+)
+from repro.acquisition.traces import TraceSet
+
+
+@pytest.fixture()
+def traces(rng):
+    return TraceSet("DUT#1", rng.normal(size=(12, 32)))
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_everything(self, traces, tmp_path):
+        path = str(tmp_path / "traces.npz")
+        save_trace_set(traces, path)
+        loaded = load_trace_set(path)
+        assert loaded.device_name == "DUT#1"
+        np.testing.assert_allclose(loaded.matrix, traces.matrix)
+
+    def test_load_rejects_foreign_archive(self, tmp_path):
+        path = str(tmp_path / "other.npz")
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(ValueError, match="not a trace-set archive"):
+            load_trace_set(path)
+
+    def test_load_rejects_future_version(self, traces, tmp_path):
+        path = str(tmp_path / "future.npz")
+        np.savez(
+            path,
+            matrix=traces.matrix,
+            device_name=np.array("x"),
+            format_version=np.array(99),
+        )
+        with pytest.raises(ValueError, match="newer format"):
+            load_trace_set(path)
+
+
+class TestCampaign:
+    def test_save_load_campaign(self, rng, tmp_path):
+        sets = {
+            "DUT#1": TraceSet("DUT#1", rng.normal(size=(4, 8))),
+            "DUT#2": TraceSet("DUT#2", rng.normal(size=(4, 8))),
+        }
+        directory = str(tmp_path / "campaign")
+        paths = save_campaign(sets, directory)
+        assert set(paths) == {"DUT#1", "DUT#2"}
+        assert all(os.path.exists(p) for p in paths.values())
+        loaded = load_campaign(directory)
+        assert set(loaded) == {"DUT#1", "DUT#2"}
+        np.testing.assert_allclose(loaded["DUT#1"].matrix, sets["DUT#1"].matrix)
+
+    def test_hash_in_name_is_sanitised(self, rng, tmp_path):
+        sets = {"DUT#1": TraceSet("DUT#1", rng.normal(size=(2, 4)))}
+        paths = save_campaign(sets, str(tmp_path / "c"))
+        assert "#" not in os.path.basename(paths["DUT#1"])
+
+    def test_load_with_required_names(self, rng, tmp_path):
+        sets = {"A": TraceSet("A", rng.normal(size=(2, 4)))}
+        directory = str(tmp_path / "c")
+        save_campaign(sets, directory)
+        with pytest.raises(KeyError, match="missing devices"):
+            load_campaign(directory, names=["A", "B"])
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_campaign(str(tmp_path / "nope"))
+
+    def test_verification_works_on_reloaded_traces(self, tmp_path):
+        # End-to-end: acquire, save, reload, verify.
+        from repro.acquisition.bench import MeasurementBench
+        from repro.acquisition.device import Device
+        from repro.core.process import ProcessParameters
+        from repro.core.verification import WatermarkVerifier
+        from repro.experiments.designs import build_paper_ip
+        from repro.power.models import PowerModel
+
+        refd = Device("RefD", build_paper_ip("IP_A"), PowerModel(), default_cycles=256)
+        dut = Device("DUT", build_paper_ip("IP_A"), PowerModel(), default_cycles=256)
+        other = Device("DUT2", build_paper_ip("IP_C"), PowerModel(), default_cycles=256)
+        bench = MeasurementBench(seed=0)
+        params = ProcessParameters(k=20, m=8, n1=160, n2=1600)
+        sets = {
+            "RefD": bench.measure(refd, params.n1),
+            "DUT": bench.measure(dut, params.n2),
+            "DUT2": bench.measure(other, params.n2),
+        }
+        directory = str(tmp_path / "campaign")
+        save_campaign(sets, directory)
+        loaded = load_campaign(directory)
+        verifier = WatermarkVerifier(params)
+        report = verifier.identify(
+            loaded["RefD"], {"DUT": loaded["DUT"], "DUT2": loaded["DUT2"]}, rng=1
+        )
+        assert report.verdict_of("lower-variance").chosen_dut == "DUT"
+
+
+class TestCounterBuilders:
+    # New netlist builders shipped with this extension round.
+    def test_johnson_counter_netlist(self):
+        from repro.fsm.counters import build_johnson_counter, johnson_counter_machine
+        from repro.hdl.netlist import Netlist
+        from repro.hdl.simulator import Simulator
+
+        netlist = Netlist("johnson")
+        build_johnson_counter(netlist, 4)
+        sequence = Simulator(netlist).state_sequence("ctr_reg", 16)
+        machine = johnson_counter_machine(4)
+        expected = machine.run(17)[1:]
+        assert sequence == expected
+
+    def test_lfsr_netlist(self):
+        from repro.fsm.counters import build_lfsr, lfsr_machine
+        from repro.hdl.netlist import Netlist
+        from repro.hdl.simulator import Simulator
+
+        netlist = Netlist("lfsr")
+        build_lfsr(netlist, 4, taps=[3, 2], seed=1)
+        sequence = Simulator(netlist).state_sequence("ctr_reg", 15)
+        machine = lfsr_machine(4, taps=[3, 2], seed=1)
+        expected = machine.run(16)[1:]
+        assert sequence == expected
+
+    def test_lfsr_netlist_validation(self):
+        from repro.fsm.counters import build_lfsr
+        from repro.hdl.netlist import Netlist
+
+        with pytest.raises(ValueError):
+            build_lfsr(Netlist("x"), 4, taps=[3], seed=0)
+        with pytest.raises(ValueError):
+            build_lfsr(Netlist("y"), 4, taps=[9], seed=1)
+
+    def test_johnson_single_bit_activity(self):
+        from repro.fsm.counters import build_johnson_counter
+        from repro.hdl.netlist import Netlist
+        from repro.hdl.simulator import Simulator
+
+        netlist = Netlist("johnson")
+        build_johnson_counter(netlist, 8)
+        trace = Simulator(netlist).run(16)
+        series = trace.component_series("ctr_reg")
+        assert set(series) == {1.0}

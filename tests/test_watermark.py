@@ -1,0 +1,156 @@
+"""Tests for the watermark leakage component."""
+
+import pytest
+
+from repro.crypto.sbox import SBOX
+from repro.fsm.counters import build_binary_counter, build_gray_counter
+from repro.fsm.watermark import (
+    WatermarkedIP,
+    WatermarkKeyError,
+    attach_leakage_component,
+    fold_to_sbox_width,
+    leakage_sequence,
+)
+from repro.hdl.netlist import Netlist
+from repro.hdl.simulator import Simulator
+
+
+def watermarked_binary_counter(kw=0x5A, width=8):
+    netlist = Netlist("ip")
+    register = build_binary_counter(netlist, width)
+    h_register = attach_leakage_component(netlist, netlist.wires["ctr_state"], kw)
+    return netlist, register, h_register
+
+
+class TestAttachment:
+    def test_netlist_validates(self):
+        netlist, _reg, _h = watermarked_binary_counter()
+        netlist.validate()
+
+    def test_adds_expected_components(self):
+        netlist, _reg, _h = watermarked_binary_counter()
+        names = {component.name for component in netlist.components}
+        assert {"wm_key", "wm_xor", "wm_sbox", "wm_hreg", "wm_pads"} <= names
+
+    def test_rejects_out_of_range_key(self):
+        netlist = Netlist("ip")
+        build_binary_counter(netlist, 8)
+        with pytest.raises(WatermarkKeyError):
+            attach_leakage_component(netlist, netlist.wires["ctr_state"], 256)
+
+    def test_custom_prefix(self):
+        netlist = Netlist("ip")
+        build_binary_counter(netlist, 8)
+        attach_leakage_component(netlist, netlist.wires["ctr_state"], 1, prefix="L")
+        assert "L_h" in netlist.wires
+
+
+class TestFunctionalBehaviour:
+    def test_does_not_disturb_the_fsm(self):
+        # The leakage component must not change the FSM behaviour.
+        plain = Netlist("plain")
+        build_binary_counter(plain, 8)
+        marked, _reg, _h = watermarked_binary_counter()
+        plain_seq = Simulator(plain).state_sequence("ctr_reg", 300)
+        marked_seq = Simulator(marked).state_sequence("ctr_reg", 300)
+        assert plain_seq == marked_seq
+
+    def test_h_register_follows_sbox_of_state_xor_key(self):
+        kw = 0x5A
+        netlist, _reg, _h = watermarked_binary_counter(kw=kw)
+        simulator = Simulator(netlist)
+        h_values = simulator.state_sequence("wm_hreg", 20)
+        # H(t) latches SBox[state(t-1) ^ kw]; state(t) = t+1 from reset 0.
+        expected = [SBOX[t ^ kw] for t in range(20)]
+        assert h_values == expected
+
+    def test_different_keys_different_h_sequences(self):
+        netlist1, _r1, _h1 = watermarked_binary_counter(kw=0x11)
+        netlist2, _r2, _h2 = watermarked_binary_counter(kw=0x22)
+        seq1 = Simulator(netlist1).state_sequence("wm_hreg", 64)
+        seq2 = Simulator(netlist2).state_sequence("wm_hreg", 64)
+        assert seq1 != seq2
+
+    def test_gray_counter_h_sequence(self):
+        kw = 0xC3
+        netlist = Netlist("ip")
+        build_gray_counter(netlist, 8)
+        attach_leakage_component(netlist, netlist.wires["ctr_state"], kw)
+        h_values = Simulator(netlist).state_sequence("wm_hreg", 10)
+        from repro.fsm.encoding import gray_encode
+
+        expected = [SBOX[gray_encode(t, 8) ^ kw] for t in range(10)]
+        assert h_values == expected
+
+
+class TestLeakageSequenceModel:
+    def test_matches_hardware(self):
+        kw = 0x77
+        netlist, _reg, _h = watermarked_binary_counter(kw=kw)
+        hardware = Simulator(netlist).state_sequence("wm_hreg", 32)
+        software = leakage_sequence(range(32), kw)
+        assert hardware == software
+
+    def test_rejects_bad_key(self):
+        with pytest.raises(WatermarkKeyError):
+            leakage_sequence([0], kw=999)
+
+
+class TestFolding:
+    def test_narrow_passes_through(self):
+        assert fold_to_sbox_width(0x3F, 6) == 0x3F
+
+    def test_eight_bit_identity(self):
+        assert fold_to_sbox_width(0xAB, 8) == 0xAB
+
+    def test_wide_folds_by_xor(self):
+        assert fold_to_sbox_width(0x1FF, 9) == (0xFF ^ 0x01)
+
+    def test_sixteen_bit_fold(self):
+        assert fold_to_sbox_width(0xABCD, 16) == (0xCD ^ 0xAB)
+
+    def test_wide_state_component_attaches(self):
+        netlist = Netlist("wide")
+        build_binary_counter(netlist, 12)
+        h = attach_leakage_component(netlist, netlist.wires["ctr_state"], 0x5A)
+        netlist.validate()
+        values = Simulator(netlist).state_sequence("wm_hreg", 10)
+        expected = [SBOX[fold_to_sbox_width(t, 12) ^ 0x5A] for t in range(10)]
+        assert values == expected
+
+    def test_narrow_state_component_attaches(self):
+        netlist = Netlist("narrow")
+        build_binary_counter(netlist, 4)
+        attach_leakage_component(netlist, netlist.wires["ctr_state"], 0x5A)
+        netlist.validate()
+        values = Simulator(netlist).state_sequence("wm_hreg", 10)
+        expected = [SBOX[(t % 16) ^ 0x5A] for t in range(10)]
+        assert values == expected
+
+
+class TestWatermarkedIPDataclass:
+    def test_is_watermarked_flag(self):
+        netlist, register, h_register = watermarked_binary_counter()
+        ip = WatermarkedIP(
+            name="x",
+            netlist=netlist,
+            state_register=register,
+            kw=0x5A,
+            fsm_kind="binary",
+            h_register=h_register,
+        )
+        assert ip.is_watermarked
+        assert "Kw=0x5a" in repr(ip)
+
+    def test_unmarked_repr(self):
+        netlist = Netlist("plain")
+        register = build_binary_counter(netlist, 8)
+        ip = WatermarkedIP(
+            name="x",
+            netlist=netlist,
+            state_register=register,
+            kw=None,
+            fsm_kind="binary",
+        )
+        assert not ip.is_watermarked
+        assert "unmarked" in repr(ip)

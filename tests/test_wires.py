@@ -1,0 +1,105 @@
+"""Tests for wires and bit-vector helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hdl.wires import Wire, bit, hamming_distance, hamming_weight, mask
+
+values = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestHamming:
+    def test_weight_examples(self):
+        assert hamming_weight(0) == 0
+        assert hamming_weight(0xFF) == 8
+        assert hamming_weight(0b1010) == 2
+
+    def test_distance_examples(self):
+        assert hamming_distance(0, 0xFF) == 8
+        assert hamming_distance(0b1100, 0b1010) == 2
+
+    @given(values)
+    def test_distance_to_self_is_zero(self, a):
+        assert hamming_distance(a, a) == 0
+
+    @given(values, values)
+    def test_distance_symmetry(self, a, b):
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    @given(values, values, values)
+    def test_triangle_inequality(self, a, b, c):
+        assert hamming_distance(a, c) <= hamming_distance(a, b) + hamming_distance(b, c)
+
+    @given(values, values)
+    def test_distance_is_weight_of_xor(self, a, b):
+        assert hamming_distance(a, b) == hamming_weight(a ^ b)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            hamming_weight(-1)
+        with pytest.raises(ValueError):
+            hamming_distance(-1, 0)
+
+
+class TestBitAndMask:
+    def test_bit_extraction(self):
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 0) == 0
+
+    def test_bit_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            bit(1, -1)
+
+    def test_mask_values(self):
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+        assert mask(16) == 0xFFFF
+
+    def test_mask_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            mask(0)
+
+
+class TestWire:
+    def test_initial_state(self):
+        wire = Wire("w", 8, initial=3)
+        assert wire.value == 3
+        assert wire.previous == 3
+        assert wire.toggles() == 0
+
+    def test_drive_and_toggles(self):
+        wire = Wire("w", 8)
+        wire.drive(0b1111)
+        assert wire.toggles() == 4
+        wire.latch_previous()
+        assert wire.toggles() == 0
+
+    def test_drive_rejects_overflow(self):
+        wire = Wire("w", 4)
+        with pytest.raises(ValueError):
+            wire.drive(16)
+
+    def test_drive_rejects_negative(self):
+        wire = Wire("w", 4)
+        with pytest.raises(ValueError):
+            wire.drive(-1)
+
+    def test_reset_restores_initial(self):
+        wire = Wire("w", 8, initial=5)
+        wire.drive(200)
+        wire.latch_previous()
+        wire.reset()
+        assert wire.value == 5
+        assert wire.previous == 5
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            Wire("w", 0)
+
+    def test_rejects_initial_overflow(self):
+        with pytest.raises(ValueError):
+            Wire("w", 2, initial=4)
+
+    def test_repr_contains_name(self):
+        assert "w" in repr(Wire("w", 8))
