@@ -1,0 +1,155 @@
+"""Engine benchmark — compiled vs interpreted simulation throughput.
+
+Times ``Simulator.run`` under both engines on the paper's designs and
+the full 4x4 device fleet at one period (256 cycles), then writes
+``BENCH_engine.json`` next to the repo root so future PRs have a
+performance trajectory to regress against.  The equivalence guarantees
+behind these numbers live in ``tests/test_engine.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.acquisition.device import clear_fleet_activity_cache
+from repro.experiments.designs import (
+    PERIOD_CYCLES,
+    build_device_fleet,
+    build_paper_ip,
+)
+from repro.hdl.simulator import Simulator
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: Speedup the compiled engine must sustain on a one-period run of a
+#: paper design (the acceptance floor is 10x; we assert a margin below
+#: that to keep the suite robust on loaded CI machines).
+MIN_ASSERTED_SPEEDUP = 5.0
+
+
+def _best_of(callable_, repeats: int) -> float:
+    """Best wall time over ``repeats`` calls (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _merge_results(update: dict) -> dict:
+    data = {}
+    if RESULT_PATH.exists():
+        data = json.loads(RESULT_PATH.read_text())
+    data.update(update)
+    RESULT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data
+
+
+def test_bench_single_design_speedup(benchmark, capsys):
+    interpreted = Simulator(build_paper_ip("IP_B").netlist, engine="interpreted")
+    compiled = Simulator(build_paper_ip("IP_B").netlist, engine="compiled")
+
+    seconds_interpreted = _best_of(lambda: interpreted.run(PERIOD_CYCLES), 3)
+    seconds_compiled = _best_of(lambda: compiled.run(PERIOD_CYCLES), 20)
+    benchmark.pedantic(compiled.run, args=(PERIOD_CYCLES,), rounds=10, iterations=1)
+
+    speedup = seconds_interpreted / seconds_compiled
+    update = {
+        "single_design": {
+            "design": "IP_B",
+            "cycles": PERIOD_CYCLES,
+            "interpreted_cycles_per_sec": PERIOD_CYCLES / seconds_interpreted,
+            "compiled_cycles_per_sec": PERIOD_CYCLES / seconds_compiled,
+            "speedup": speedup,
+        }
+    }
+    _merge_results(update)
+    print(
+        f"\nSimulator.run({PERIOD_CYCLES}) on IP_B: "
+        f"interpreted {PERIOD_CYCLES / seconds_interpreted:,.0f} cyc/s, "
+        f"compiled {PERIOD_CYCLES / seconds_compiled:,.0f} cyc/s "
+        f"-> {speedup:.1f}x"
+    )
+    assert speedup >= MIN_ASSERTED_SPEEDUP
+    # Equivalence spot check rides along with the timing.
+    assert np.array_equal(
+        compiled.run(PERIOD_CYCLES).matrix,
+        interpreted.run(PERIOD_CYCLES).matrix,
+    )
+
+
+def test_bench_fleet_simulation(benchmark, capsys):
+    """Wall time to obtain activity for all eight fleet devices."""
+
+    def fleet_interpreted() -> float:
+        refds, duts = build_device_fleet(seed=2014)
+        start = time.perf_counter()
+        for device in (*refds.values(), *duts.values()):
+            trace = Simulator(device.ip.netlist, engine="interpreted").run(
+                PERIOD_CYCLES
+            )
+            assert trace.n_cycles == PERIOD_CYCLES
+        return time.perf_counter() - start
+
+    def fleet_compiled_shared() -> float:
+        clear_fleet_activity_cache()
+        refds, duts = build_device_fleet(seed=2014)
+        start = time.perf_counter()
+        for device in (*refds.values(), *duts.values()):
+            device.activity(PERIOD_CYCLES)
+        return time.perf_counter() - start
+
+    seconds_interpreted = fleet_interpreted()
+    seconds_compiled = min(fleet_compiled_shared() for _ in range(3))
+    benchmark.pedantic(fleet_compiled_shared, rounds=3, iterations=1)
+
+    speedup = seconds_interpreted / seconds_compiled
+    update = {
+        "fleet_4x4": {
+            "devices": 8,
+            "distinct_netlists": 4,
+            "cycles": PERIOD_CYCLES,
+            "interpreted_wall_sec": seconds_interpreted,
+            "compiled_shared_wall_sec": seconds_compiled,
+            "speedup": speedup,
+        }
+    }
+    _merge_results(update)
+    print(
+        f"\n4x4 fleet activity at {PERIOD_CYCLES} cycles: "
+        f"interpreted {seconds_interpreted * 1e3:.1f} ms, "
+        f"compiled+shared {seconds_compiled * 1e3:.2f} ms -> {speedup:.0f}x"
+    )
+    assert speedup >= MIN_ASSERTED_SPEEDUP
+
+
+def test_bench_long_run_memoisation(benchmark, capsys):
+    """Periodic designs tile their state cycle instead of re-stepping."""
+    compiled = Simulator(build_paper_ip("IP_A").netlist, engine="compiled")
+    cycles = 16 * PERIOD_CYCLES
+
+    seconds = _best_of(lambda: compiled.run(cycles), 5)
+    benchmark.pedantic(compiled.run, args=(cycles,), rounds=5, iterations=1)
+
+    update = {
+        "long_run": {
+            "design": "IP_A",
+            "cycles": cycles,
+            "compiled_cycles_per_sec": cycles / seconds,
+        }
+    }
+    data = _merge_results(update)
+    print(
+        f"\ncompiled {cycles}-cycle run: {cycles / seconds:,.0f} cyc/s "
+        f"(state-memo tiling); BENCH_engine.json now has "
+        f"{sorted(data)} sections"
+    )
+    # The memoised long run must beat the single-period rate.
+    single = data.get("single_design", {}).get("compiled_cycles_per_sec")
+    if single:
+        assert cycles / seconds > single

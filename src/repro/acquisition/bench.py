@@ -60,8 +60,13 @@ class MeasurementBench:
         n_cycles: Optional[int] = None,
         cache: bool = True,
     ) -> TraceSet:
-        """Acquire (or reuse) ``n_traces`` traces for ``device``."""
-        key = f"{device.name}:{n_cycles}"
+        """Acquire (or reuse) ``n_traces`` traces for ``device``.
+
+        The cache keys on the *resolved* cycle count so that
+        ``n_cycles=None`` and an explicit ``n_cycles=default_cycles``
+        hit the same entry instead of acquiring twice.
+        """
+        key = f"{device.name}:{device.resolve_cycles(n_cycles)}"
         if cache and key in self._cache and self._cache[key].n_traces >= n_traces:
             cached = self._cache[key]
             return TraceSet(cached.device_name, cached.matrix[:n_traces].copy())

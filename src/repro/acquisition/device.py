@@ -7,11 +7,27 @@ noise-free power waveform is deterministic; it is simulated once and
 cached, and each "measurement" adds fresh noise in the oscilloscope.
 This mirrors physics (the die does the same thing every run) and makes
 10 000-trace campaigns cheap.
+
+Caching happens at two levels:
+
+* **Per device** — activity and rendered waveforms are cached per
+  resolved cycle count (``n_cycles=None`` and an explicit
+  ``n_cycles == default_cycles`` share one entry).
+* **Per fleet** — devices manufactured from the same
+  :class:`~repro.fsm.watermark.WatermarkedIP` differ only in power
+  weights, gain and offset, never in switching activity.  The compiled
+  engine's structural fingerprint (see :mod:`repro.hdl.engine`)
+  identifies structurally identical netlists, and a process-wide
+  activity cache keyed on it makes an N-device campaign simulate each
+  *distinct* netlist exactly once.  Shared
+  :class:`~repro.hdl.activity.ActivityTrace` objects are treated as
+  immutable by every consumer in this package.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -21,6 +37,23 @@ from repro.hdl.simulator import Simulator
 from repro.power.models import PowerModel
 from repro.power.supply import WaveformConfig, render_waveform
 from repro.power.variation import DeviceVariation
+
+#: Process-wide structural activity cache:
+#: ``(structural_key, cycles) -> ActivityTrace``, bounded LRU.
+_FLEET_ACTIVITY_CACHE: "OrderedDict[Tuple[str, int], ActivityTrace]" = OrderedDict()
+
+#: Upper bound on distinct (netlist structure, cycle count) entries.
+FLEET_ACTIVITY_CACHE_MAX = 64
+
+
+def clear_fleet_activity_cache() -> None:
+    """Drop every structurally shared activity trace (mainly for tests)."""
+    _FLEET_ACTIVITY_CACHE.clear()
+
+
+def fleet_activity_cache_size() -> int:
+    """Number of distinct (structure, cycles) entries currently shared."""
+    return len(_FLEET_ACTIVITY_CACHE)
 
 
 class Device:
@@ -55,17 +88,45 @@ class Device:
             self.variation.component_scales
         )
 
+    def resolve_cycles(self, n_cycles: Optional[int] = None) -> int:
+        """Normalise a measurement length: ``None`` means the default.
+
+        Every cache in the acquisition chain keys on the *resolved*
+        count, so ``None`` and an explicit ``default_cycles`` share one
+        entry instead of simulating (and storing) everything twice.
+        """
+        return self.default_cycles if n_cycles is None else n_cycles
+
     def activity(self, n_cycles: Optional[int] = None) -> ActivityTrace:
-        """Cycle-accurate switching activity over ``n_cycles`` (cached)."""
-        cycles = self.default_cycles if n_cycles is None else n_cycles
-        if cycles not in self._activity_cache:
-            simulator = Simulator(self.ip.netlist)
-            self._activity_cache[cycles] = simulator.run(cycles)
-        return self._activity_cache[cycles]
+        """Cycle-accurate switching activity over ``n_cycles`` (cached).
+
+        Consults the per-device cache first, then the process-wide
+        structural cache shared by every device built from the same IP
+        structure; only on a double miss is the netlist simulated.
+        """
+        cycles = self.resolve_cycles(n_cycles)
+        trace = self._activity_cache.get(cycles)
+        if trace is not None:
+            return trace
+        simulator = Simulator(self.ip.netlist)
+        fleet_key = None
+        if simulator.structural_key is not None:
+            fleet_key = (simulator.structural_key, cycles)
+            trace = _FLEET_ACTIVITY_CACHE.get(fleet_key)
+            if trace is not None:
+                _FLEET_ACTIVITY_CACHE.move_to_end(fleet_key)
+        if trace is None:
+            trace = simulator.run(cycles)
+            if fleet_key is not None:
+                _FLEET_ACTIVITY_CACHE[fleet_key] = trace
+                while len(_FLEET_ACTIVITY_CACHE) > FLEET_ACTIVITY_CACHE_MAX:
+                    _FLEET_ACTIVITY_CACHE.popitem(last=False)
+        self._activity_cache[cycles] = trace
+        return trace
 
     def deterministic_waveform(self, n_cycles: Optional[int] = None) -> np.ndarray:
         """The noise-free sampled power waveform of this die (cached)."""
-        cycles = self.default_cycles if n_cycles is None else n_cycles
+        cycles = self.resolve_cycles(n_cycles)
         if cycles not in self._waveform_cache:
             cycle_power = self.effective_model.cycle_power(self.activity(cycles))
             samples = render_waveform(cycle_power, self.waveform)
@@ -75,8 +136,7 @@ class Device:
 
     def trace_length(self, n_cycles: Optional[int] = None) -> int:
         """Number of samples per trace for a given measurement length."""
-        cycles = self.default_cycles if n_cycles is None else n_cycles
-        return cycles * self.waveform.samples_per_cycle
+        return self.resolve_cycles(n_cycles) * self.waveform.samples_per_cycle
 
     def __repr__(self) -> str:
         return f"Device({self.name!r}, ip={self.ip.name!r})"

@@ -6,10 +6,13 @@ The closed form
 
 describes the probability that one given trace out of ``n2 = alpha k m``
 is selected by more than one of the ``m`` independent k-selections.
-This module estimates the same probability by actually running the
-selection machinery from :mod:`repro.core.selection`, so the formula,
-the code and the paper agree — and it also exercises the two limit
-properties P1 (alpha to infinity) and P2 (m to infinity) numerically.
+This module estimates the same probability through the selection
+machinery in :mod:`repro.core.selection`, so the formula, the code and
+the paper agree — and it also exercises the two limit properties P1
+(alpha to infinity) and P2 (m to infinity) numerically.  The estimator
+is fully vectorised: all ``trials x m`` k-selections collapse into one
+RNG call (see :func:`repro.core.selection.selection_membership_batch`
+for the exactness argument) and reuse is counted with array ops.
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ import numpy as np
 
 from repro.acquisition.bench import RngLike, make_rng
 from repro.core.parameters import reuse_probability, reuse_probability_limit
-from repro.core.selection import selection_indices_batch
+from repro.core.selection import selection_membership_batch
 
 
 @dataclass(frozen=True)
@@ -58,7 +61,9 @@ def estimate_reuse_probability(
     Each trial draws ``m`` independent k-selections from ``n2 = alpha
     k m`` traces and checks whether the tracked element (default:
     element 0 — by symmetry any index gives the same probability)
-    appears in two or more selections.
+    appears in two or more selections.  The whole ``trials x m`` batch
+    of selections is drawn in a single vectorised RNG call and reuse is
+    counted with array reductions — no Python trial loop.
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
@@ -69,12 +74,9 @@ def estimate_reuse_probability(
     if not 0 <= element < n2:
         raise ValueError(f"tracked element {element} out of range [0, {n2})")
     generator = make_rng(rng)
-    hits = 0
-    for _trial in range(trials):
-        indices = selection_indices_batch(n2, k, m, generator)
-        appearances = int(np.sum(np.any(indices == element, axis=1)))
-        if appearances >= 2:
-            hits += 1
+    member = selection_membership_batch(n2, k, m, trials, generator, element)
+    appearances = member.sum(axis=1)
+    hits = int(np.count_nonzero(appearances >= 2))
     estimate = hits / trials
     closed_form = reuse_probability(alpha, m)
     standard_error = float(np.sqrt(max(estimate * (1 - estimate), 1e-12) / trials))

@@ -55,6 +55,42 @@ def selection_indices_batch(
     )
 
 
+def selection_membership_batch(
+    n_available: int,
+    k: int,
+    m: int,
+    trials: int,
+    rng: np.random.Generator,
+    element: int = 0,
+) -> np.ndarray:
+    """Membership of one element across ``trials x m`` k-selections.
+
+    Returns a boolean ``(trials, m)`` matrix whose entry ``[t, j]`` is
+    the event "``element`` appears in the j-th ``U_X(k)`` draw of trial
+    ``t``".  The matrix is *exactly* distributed like running
+    :func:`selection_indices_batch` per trial and testing membership:
+    under uniform distinct selection each element lands in a given
+    k-selection with probability ``k / n_available``, independently
+    across selections — so the whole batch collapses into a single RNG
+    call instead of ``trials * m`` index draws.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if k > n_available:
+        raise ValueError(
+            f"cannot select {k} distinct elements from a set of {n_available}"
+        )
+    if m <= 0:
+        raise ValueError(f"m must be positive, got {m}")
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= element < n_available:
+        raise ValueError(
+            f"element {element} out of range [0, {n_available})"
+        )
+    return rng.random((trials, m)) < k / n_available
+
+
 def count_cross_selection_reuse(indices: np.ndarray) -> int:
     """Number of elements appearing in more than one row of a batch.
 

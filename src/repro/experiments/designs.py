@@ -50,6 +50,10 @@ IP_SPECS: Dict[str, Tuple[str, int]] = {
     "IP_D": ("gray", KW3),
 }
 
+#: The paper's designs in presentation order — the canonical iteration
+#: set for equivalence tests and benchmarks over every design.
+PAPER_IP_NAMES: Tuple[str, ...] = tuple(IP_SPECS)
+
 #: DUT#y contains the same IP as the matching RefD (paper Section IV).
 DUT_CONTENTS: Dict[str, str] = {
     "DUT#1": "IP_A",
@@ -118,6 +122,11 @@ def build_device_fleet(
     IPs and four DUTs named ``DUT#1..4``.  Every device gets a fresh
     netlist and an independent process-variation draw (pass
     ``variation_model=None`` for the no-variation ablation).
+
+    Although each device owns a private netlist, the RefD and DUT built
+    from the same IP are structurally identical, so the fleet-level
+    activity cache (see :mod:`repro.acquisition.device`) simulates each
+    of the four distinct netlists exactly once per cycle count.
     """
     model = power_model if power_model is not None else PowerModel()
     rng = np.random.default_rng(seed)

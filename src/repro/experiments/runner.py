@@ -111,16 +111,30 @@ class CampaignOutcome:
         )
 
 
-def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignOutcome:
-    """Run the paper's full 4x4 verification campaign."""
-    cfg = config if config is not None else CampaignConfig()
-    refds, duts = build_device_fleet(
+def manufacture_fleet(cfg: CampaignConfig):
+    """Build the eight devices described by a campaign config."""
+    return build_device_fleet(
         power_model=cfg.power_model,
         variation_model=cfg.variation,
         waveform=cfg.waveform,
         seed=cfg.fleet_seed,
         watermarked=cfg.watermarked,
     )
+
+
+def run_campaign(
+    config: Optional[CampaignConfig] = None,
+    fleet=None,
+) -> CampaignOutcome:
+    """Run the paper's full 4x4 verification campaign.
+
+    ``fleet`` optionally supplies pre-manufactured ``(refds, duts)``
+    devices (e.g. from :func:`manufacture_fleet`), so repeated campaigns
+    on the same chips reuse their cached deterministic waveforms instead
+    of rebuilding and re-simulating the whole fleet.
+    """
+    cfg = config if config is not None else CampaignConfig()
+    refds, duts = fleet if fleet is not None else manufacture_fleet(cfg)
     bench = MeasurementBench(
         Oscilloscope(cfg.noise, cfg.adc), seed=cfg.measurement_seed
     )
@@ -147,11 +161,15 @@ def repeated_accuracy(
     """Identification accuracy over repeated campaigns (E10).
 
     Re-seeds measurement and analysis per repeat while keeping the same
-    manufactured fleet, i.e. repeats the lab session on the same chips.
+    manufactured fleet, i.e. repeats the lab session on the same chips:
+    the devices are built once and passed to every
+    :func:`run_campaign`, so their deterministic waveforms are
+    simulated once for the whole study.
     """
     if n_repeats <= 0:
         raise ValueError("n_repeats must be positive")
     cfg = base_config if base_config is not None else CampaignConfig()
+    fleet = manufacture_fleet(cfg)
     totals = {name: 0.0 for name in distinguisher_names}
     for repeat in range(n_repeats):
         repeat_cfg = CampaignConfig(
@@ -168,7 +186,7 @@ def repeated_accuracy(
             watermarked=cfg.watermarked,
             single_reference=cfg.single_reference,
         )
-        outcome = run_campaign(repeat_cfg)
+        outcome = run_campaign(repeat_cfg, fleet=fleet)
         for name in distinguisher_names:
             totals[name] += outcome.accuracy(name)
     return {name: total / n_repeats for name, total in totals.items()}
@@ -177,6 +195,7 @@ def repeated_accuracy(
 __all__ = [
     "CampaignConfig",
     "CampaignOutcome",
+    "manufacture_fleet",
     "run_campaign",
     "repeated_accuracy",
     "DUT_ORDER",

@@ -1,9 +1,19 @@
 """Digital-logic substrate: wires, components, netlists and a
-cycle-accurate simulator that records per-component switching activity.
+compile-then-execute cycle-accurate simulator that records
+per-component switching activity.
 
 This package stands in for the paper's Altera Cyclone III FPGAs: the
 verification scheme only consumes switching activity, which the
-simulator records exactly.
+simulator records exactly.  Netlists are assembled from component
+objects (:mod:`repro.hdl.component` and friends), validated by
+:mod:`repro.hdl.netlist`, then *lowered* by :mod:`repro.hdl.engine`
+into a flat, table-driven program — opcode/operand statements over
+dense wire indices, register updates as simultaneous assignments, and
+switching activity as vectorised Hamming weights over the recorded
+wire-value matrix.  :class:`~repro.hdl.simulator.Simulator` fronts both
+the compiled engine (default) and the original interpreted loop, which
+is retained as a reference oracle; the two are bit-identical on every
+supported netlist.
 """
 
 from repro.hdl.activity import ActivityTrace, Channel
@@ -28,6 +38,12 @@ from repro.hdl.component import (
     KIND_RAM,
     KIND_REGISTER,
     SequentialComponent,
+)
+from repro.hdl.engine import (
+    CompiledNetlist,
+    CompileError,
+    InterpretedEngine,
+    compile_netlist,
 )
 from repro.hdl.io import ClockTree, InputPort, OutputPort
 from repro.hdl.memory import SyncROM
@@ -67,6 +83,10 @@ __all__ = [
     "Netlist",
     "NetlistError",
     "Simulator",
+    "CompiledNetlist",
+    "CompileError",
+    "InterpretedEngine",
+    "compile_netlist",
     "export_verilog",
     "export_testbench",
     "VerilogExportError",

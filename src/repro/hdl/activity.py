@@ -5,6 +5,14 @@ toggle counts plus channel metadata ``(component name, activity kind)``.
 It is the interface between the logic substrate and the power model:
 on a real FPGA the oscilloscope integrates exactly these switching
 events through the chip's capacitances and the power-delivery network.
+
+The compiled engine (:mod:`repro.hdl.engine`) fixes the channel-index
+map at compile time and fills whole matrix columns with vectorised
+Hamming weights, so identical netlists always produce identical
+channel tuples — which is what lets the fleet-level activity cache in
+:mod:`repro.acquisition.device` share one trace object across many
+devices.  Consumers must therefore treat traces as immutable; every
+accessor below returns a fresh array.
 """
 
 from __future__ import annotations

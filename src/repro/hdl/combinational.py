@@ -44,6 +44,9 @@ class Constant(CombinationalComponent):
     def activity(self) -> List[ActivityEvent]:
         return []
 
+    def activity_kinds(self):
+        return ()
+
 
 class XorArray(CombinationalComponent):
     """Bitwise XOR of two equal-width buses (state ⊕ Kw in the paper)."""
@@ -72,6 +75,9 @@ class XorArray(CombinationalComponent):
 
     def activity(self) -> List[ActivityEvent]:
         return [ActivityEvent(self.name, KIND_COMB, float(self.output.toggles()))]
+
+    def activity_kinds(self):
+        return (KIND_COMB,)
 
 
 class Incrementer(CombinationalComponent):
@@ -117,6 +123,9 @@ class Incrementer(CombinationalComponent):
             ActivityEvent(self.name, KIND_COMB, float(output_toggles + 2 * ripple)),
         ]
 
+    def activity_kinds(self):
+        return (KIND_COMB,)
+
 
 class BinaryToGray(CombinationalComponent):
     """Gray encoding: ``output = a ^ (a >> 1)``."""
@@ -145,6 +154,9 @@ class BinaryToGray(CombinationalComponent):
         return [
             ActivityEvent(self.name, KIND_COMB, float(input_toggles + output_toggles))
         ]
+
+    def activity_kinds(self):
+        return (KIND_COMB,)
 
 
 class GrayToBinary(CombinationalComponent):
@@ -188,6 +200,9 @@ class GrayToBinary(CombinationalComponent):
             ActivityEvent(self.name, KIND_COMB, float(input_toggles + output_toggles))
         ]
 
+    def activity_kinds(self):
+        return (KIND_COMB,)
+
 
 class Mux2(CombinationalComponent):
     """Two-way multiplexer: ``output = a if select == 0 else b``."""
@@ -216,6 +231,9 @@ class Mux2(CombinationalComponent):
 
     def activity(self) -> List[ActivityEvent]:
         return [ActivityEvent(self.name, KIND_COMB, float(self.output.toggles()))]
+
+    def activity_kinds(self):
+        return (KIND_COMB,)
 
 
 class LookupLogic(CombinationalComponent):
@@ -263,6 +281,9 @@ class LookupLogic(CombinationalComponent):
         amount = self.output.toggles() + self.glitch_factor * input_toggles
         return [ActivityEvent(self.name, KIND_COMB, float(amount))]
 
+    def activity_kinds(self):
+        return (KIND_COMB,)
+
 
 class TransitionTable(CombinationalComponent):
     """Next-state logic from an explicit code-to-code mapping.
@@ -301,3 +322,6 @@ class TransitionTable(CombinationalComponent):
         input_toggles = hamming_distance(self.state.value, self.state.previous)
         amount = self.next_state.toggles() + 0.5 * input_toggles
         return [ActivityEvent(self.name, KIND_COMB, float(amount))]
+
+    def activity_kinds(self):
+        return (KIND_COMB,)

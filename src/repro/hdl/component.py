@@ -13,7 +13,7 @@ real die).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from repro.hdl.wires import Wire
 
@@ -71,6 +71,17 @@ class Component:
     def activity(self) -> List[ActivityEvent]:
         """Switching activity contributed during the current cycle."""
         return []
+
+    def activity_kinds(self) -> Tuple[str, ...]:
+        """Static structure of this component's activity channels.
+
+        One entry per :class:`ActivityEvent` the component reports each
+        cycle, in report order.  The compiled engine uses this to build
+        the channel-index map once, without executing :meth:`activity`;
+        the default derives it from a live :meth:`activity` call, which
+        is correct for any component whose event list has a fixed shape.
+        """
+        return tuple(event.kind for event in self.activity())
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"

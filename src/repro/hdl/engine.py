@@ -1,0 +1,737 @@
+"""Compiled netlist simulation engine (lower once, execute fast).
+
+The interpreted simulation loop walks every wire and component object
+once per clock cycle and allocates fresh ``ActivityEvent``/``Channel``
+objects per cycle just to bucket toggle counts.  The compiled engine
+instead *lowers* a validated :class:`~repro.hdl.netlist.Netlist` once
+and then executes a flat program:
+
+1. **Lowering** (:func:`compile_netlist`) — every wire gets a dense
+   index and every component is translated into straight-line Python
+   statements over local integer variables: ROMs, transition tables and
+   (small) lookup logic become tuple indexing, Gray decode becomes an
+   unrolled shift/XOR ladder, register capture/commit becomes a block of
+   simultaneous assignments.  The statements are assembled in the
+   netlist's topological order into one specialised step loop, compiled
+   a single time with :func:`exec`.
+2. **Execution** — the generated runner advances the whole design one
+   clock per iteration, appending one settled wire-value row per cycle.
+   Netlists without input ports are pure functions of their register
+   state, so the runner also memoises rows: as soon as the design
+   re-enters a previously seen state the remaining rows are tiled with
+   NumPy instead of stepped.
+3. **Activity** — switching activity is computed *after* the run as
+   vectorised Hamming weights over the ``(cycles + 1, n_wires)`` value
+   matrix, written column-by-column into the ``(cycles, n_channels)``
+   activity matrix.  The channel-index map is computed once at compile
+   time; no per-cycle objects are allocated.
+
+The compiled output is bit-identical to the interpreted oracle
+(``tests/test_engine.py`` proves it for every paper design).  Lowering
+additionally yields a *structural fingerprint* — a digest of the wire
+table, component graph and all lowered truth tables — which
+:mod:`repro.acquisition.device` uses to share activity traces across a
+fleet of devices manufactured from the same IP.
+
+Netlists containing constructs the lowering pass cannot prove
+equivalent (custom component classes, wires outside the netlist,
+extremely wide buses) raise :class:`CompileError`; the
+:class:`~repro.hdl.simulator.Simulator` front-end then falls back to
+the interpreted reference engine automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hdl.activity import ActivityTrace, Channel
+from repro.hdl.combinational import (
+    BinaryToGray,
+    Constant,
+    GrayToBinary,
+    Incrementer,
+    LookupLogic,
+    Mux2,
+    TransitionTable,
+    XorArray,
+)
+from repro.hdl.io import ClockTree, InputPort, OutputPort
+from repro.hdl.memory import SyncROM
+from repro.hdl.netlist import Netlist
+from repro.hdl.register import DRegister
+from repro.hdl.wires import Wire, mask
+
+#: Lookup logic whose concatenated input bus is at most this wide is
+#: exhaustively enumerated into a flat table at compile time.
+MAX_TABLE_BITS = 16
+
+#: Widest bus the int64-based activity vectorisation supports.
+MAX_WIRE_WIDTH = 63
+
+#: Runs at least this long use the state-memoising runner; shorter runs
+#: skip the per-cycle dict bookkeeping (a design's period is rarely
+#: shorter than a few hundred cycles, so short runs cannot amortise it).
+MEMO_MIN_CYCLES = 512
+
+
+class CompileError(Exception):
+    """The netlist contains a construct the lowering pass cannot prove
+    equivalent to the interpreted semantics."""
+
+
+if hasattr(np, "bitwise_count"):
+    def _popcount(values: np.ndarray) -> np.ndarray:
+        return np.bitwise_count(values)
+else:  # pragma: no cover - NumPy < 2.0
+    def _popcount(values: np.ndarray) -> np.ndarray:
+        x = values.astype(np.uint64)
+        x = x - ((x >> np.uint64(1)) & np.uint64(0x5555555555555555))
+        x = (x & np.uint64(0x3333333333333333)) + (
+            (x >> np.uint64(2)) & np.uint64(0x3333333333333333)
+        )
+        x = (x + (x >> np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+        return (x * np.uint64(0x0101010101010101)) >> np.uint64(56)
+
+
+class _Lowering:
+    """Builds the generated source, namespace and metadata for one netlist."""
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.wires: List[Wire] = list(netlist.wires.values())
+        self.index: Dict[int, int] = {id(w): i for i, w in enumerate(self.wires)}
+        for wire in self.wires:
+            if wire.width > MAX_WIRE_WIDTH:
+                raise CompileError(
+                    f"wire {wire.name!r} is {wire.width} bits wide; the "
+                    f"compiled engine supports at most {MAX_WIRE_WIDTH}"
+                )
+        self.namespace: Dict[str, object] = {}
+        self.fingerprintable = True
+        self.records: List[tuple] = [
+            ("wires", tuple((w.name, w.width, w._initial) for w in self.wires))
+        ]
+        self.registers: List[DRegister] = []
+        self.ports: List[InputPort] = []
+        self.channels: List[Channel] = []
+        self.activity_specs: List[tuple] = []
+        self._lookup_codegen: Dict[int, Optional[Tuple[int, ...]]] = {}
+        self._counter = 0
+
+    def wire_index(self, wire: Wire) -> int:
+        key = id(wire)
+        if key not in self.index:
+            raise CompileError(
+                f"component references wire {wire.name!r} that is not "
+                f"registered in netlist {self.netlist.name!r}"
+            )
+        return self.index[key]
+
+    def bind(self, prefix: str, value: object) -> str:
+        """Place a constant object into the exec namespace."""
+        name = f"_{prefix}{self._counter}"
+        self._counter += 1
+        self.namespace[name] = value
+        return name
+
+    def lower(self) -> None:
+        """Index wires, lower components, derive channels + fingerprint.
+
+        Source assembly (:meth:`generate_program`) is deferred until an
+        execution is actually requested: a fleet-cache hit only needs
+        the fingerprint, not a runnable program.
+        """
+        for component in self.netlist.components:
+            self._lower_component(component)
+
+    # -- per-component lowering -------------------------------------------
+
+    def _lower_component(self, component) -> None:
+        kind = type(component)
+        if kind is DRegister:
+            self._lower_register(component)
+        elif kind is Constant:
+            self.records.append(
+                ("Constant", component.name, self.wire_index(component.output),
+                 component.value)
+            )
+        elif kind is XorArray:
+            a, b = self.wire_index(component.a), self.wire_index(component.b)
+            out = self.wire_index(component.output)
+            self.records.append(("XorArray", component.name, a, b, out))
+            self._channel(component, ("out", out))
+        elif kind is Incrementer:
+            a = self.wire_index(component.a)
+            out = self.wire_index(component.output)
+            self.records.append(("Incrementer", component.name, a, out))
+            self._channel(component, ("inc", a, out, component.a.width))
+        elif kind is BinaryToGray:
+            a = self.wire_index(component.a)
+            out = self.wire_index(component.output)
+            self.records.append(("BinaryToGray", component.name, a, out))
+            self._channel(component, ("in_out", a, out))
+        elif kind is GrayToBinary:
+            a = self.wire_index(component.a)
+            out = self.wire_index(component.output)
+            self.records.append(("GrayToBinary", component.name, a, out))
+            self._channel(component, ("in_out", a, out))
+        elif kind is Mux2:
+            s = self.wire_index(component.select)
+            a, b = self.wire_index(component.a), self.wire_index(component.b)
+            out = self.wire_index(component.output)
+            self.records.append(("Mux2", component.name, s, a, b, out))
+            self._channel(component, ("out", out))
+        elif kind is LookupLogic:
+            self._lower_lookup(component)
+        elif kind is TransitionTable:
+            self._lower_transition_table(component)
+        elif kind is SyncROM:
+            addr = self.wire_index(component.address)
+            data = self.wire_index(component.data)
+            self.records.append(
+                ("SyncROM", component.name, addr, data, component.contents,
+                 component.precharge_activity)
+            )
+            self._channel(
+                component, ("rom", addr, data, component.precharge_activity)
+            )
+        elif kind is InputPort:
+            target = self.wire_index(component.target)
+            self.ports.append(component)
+            # Stimulus callables have no canonical description, so a
+            # netlist with input ports is never fingerprintable.
+            self.fingerprintable = False
+            self._channel(component, ("io", target))
+        elif kind is OutputPort:
+            source = self.wire_index(component.source)
+            self.records.append(("OutputPort", component.name, source))
+            self._channel(component, ("io", source))
+        elif kind is ClockTree:
+            self.records.append(("ClockTree", component.name, component.load))
+            self._channel(component, ("clock", component.load))
+        else:
+            raise CompileError(
+                f"component {component.name!r} has unsupported type "
+                f"{kind.__name__!r}"
+            )
+
+    def _channel(self, component, spec: tuple) -> None:
+        kinds = component.activity_kinds()
+        if len(kinds) != 1:  # pragma: no cover - all stock types emit one
+            raise CompileError(
+                f"component {component.name!r} reports {len(kinds)} activity "
+                "channels; the compiled engine lowers exactly one"
+            )
+        self.channels.append(Channel(component.name, kinds[0]))
+        self.activity_specs.append(spec)
+
+    def _lower_register(self, register: DRegister) -> None:
+        d = self.wire_index(register.d)
+        q = self.wire_index(register.q)
+        self.registers.append(register)
+        self.records.append(
+            ("DRegister", register.name, d, q, register.reset_value)
+        )
+        self._channel(register, ("reg", q))
+
+    def _lower_lookup(self, logic: LookupLogic) -> None:
+        in_idx = tuple(self.wire_index(w) for w in logic.input_wires)
+        out = self.wire_index(logic.output)
+        table = self._tablefy(logic)
+        if table is not None:
+            self.records.append(
+                ("LookupLogic", logic.name, in_idx, out, logic.glitch_factor,
+                 table)
+            )
+        else:
+            self.fingerprintable = False
+        self._channel(logic, ("lut", in_idx, out, logic.glitch_factor))
+        self._lookup_codegen[id(logic)] = table
+
+    def _tablefy(self, logic: LookupLogic) -> Optional[Tuple[int, ...]]:
+        """Exhaustively enumerate a lookup function into a flat table.
+
+        Returns ``None`` when the input bus is too wide or the callable
+        raises / returns out-of-range values somewhere in the domain (a
+        partial function only defined on reachable codes); the lowered
+        program then keeps calling the original function per cycle.
+        """
+        widths = [w.width for w in logic.input_wires]
+        total = sum(widths)
+        if total > MAX_TABLE_BITS:
+            return None
+        out_mask = mask(logic.output.width)
+        table: List[int] = []
+        try:
+            for packed in range(1 << total):
+                values = []
+                shift = total
+                for width in widths:
+                    shift -= width
+                    values.append((packed >> shift) & mask(width))
+                result = logic.function(*values)
+                result_int = int(result)
+                if result_int != result or not 0 <= result_int <= out_mask:
+                    return None
+                table.append(result_int)
+        except Exception:
+            return None
+        return tuple(table)
+
+    def _lower_transition_table(self, component: TransitionTable) -> None:
+        state = self.wire_index(component.state)
+        nxt = self.wire_index(component.next_state)
+        next_mask = mask(component.next_state.width)
+        for code, target in component.table.items():
+            if not 0 <= target <= next_mask:
+                raise CompileError(
+                    f"{component.name}: transition target {target} does not "
+                    f"fit in {component.next_state.width} bits"
+                )
+            if code < 0:
+                raise CompileError(
+                    f"{component.name}: negative state code {code}"
+                )
+        self.records.append(
+            ("TransitionTable", component.name, state, nxt,
+             tuple(sorted(component.table.items())))
+        )
+        self._channel(component, ("tt", state, nxt))
+
+    # -- source assembly ---------------------------------------------------
+
+    def _comb_statement(self, component, stim_expr: str) -> List[str]:
+        """Statements settling one combinational component."""
+        w = lambda i: f"w{i}"  # noqa: E731 - tiny local shorthand
+        kind = type(component)
+        if kind is Constant:
+            return [f"{w(self.wire_index(component.output))} = {component.value}"]
+        if kind is XorArray:
+            return [
+                f"{w(self.wire_index(component.output))} = "
+                f"{w(self.wire_index(component.a))} ^ {w(self.wire_index(component.b))}"
+            ]
+        if kind is Incrementer:
+            return [
+                f"{w(self.wire_index(component.output))} = "
+                f"({w(self.wire_index(component.a))} + 1) & {mask(component.a.width)}"
+            ]
+        if kind is BinaryToGray:
+            a = w(self.wire_index(component.a))
+            return [f"{w(self.wire_index(component.output))} = {a} ^ ({a} >> 1)"]
+        if kind is GrayToBinary:
+            lines = [f"_x = {w(self.wire_index(component.a))}"]
+            shift = 1
+            while shift < component.a.width:
+                lines.append(f"_x ^= _x >> {shift}")
+                shift <<= 1
+            lines.append(f"{w(self.wire_index(component.output))} = _x")
+            return lines
+        if kind is Mux2:
+            return [
+                f"{w(self.wire_index(component.output))} = "
+                f"{w(self.wire_index(component.b))} if {w(self.wire_index(component.select))} "
+                f"else {w(self.wire_index(component.a))}"
+            ]
+        if kind is LookupLogic:
+            return self._lookup_statement(component)
+        if kind is TransitionTable:
+            return self._transition_statement(component)
+        if kind is SyncROM:
+            name = self.bind("T", component.contents)
+            return [
+                f"{w(self.wire_index(component.data))} = "
+                f"{name}[{w(self.wire_index(component.address))}]"
+            ]
+        if kind is InputPort:
+            name = self.bind("S", component.stimulus)
+            target = component.target
+            out = w(self.wire_index(target))
+            return [
+                f"{out} = {name}({stim_expr})",
+                f"if not 0 <= {out} <= {mask(target.width)}: "
+                f"raise ValueError('wire %r: value %s does not fit in "
+                f"{target.width} bits' % ({target.name!r}, {out}))",
+            ]
+        if kind is OutputPort:
+            return []
+        raise CompileError(  # pragma: no cover - guarded in _lower_component
+            f"no statement lowering for {kind.__name__}"
+        )
+
+    def _lookup_statement(self, logic: LookupLogic) -> List[str]:
+        w = lambda i: f"w{i}"  # noqa: E731
+        out_idx = self.wire_index(logic.output)
+        table = self._lookup_codegen[id(logic)]
+        in_idx = [self.wire_index(wire) for wire in logic.input_wires]
+        if table is not None:
+            name = self.bind("T", table)
+            widths = [wire.width for wire in logic.input_wires]
+            shift = sum(widths)
+            parts = []
+            for idx, width in zip(in_idx, widths):
+                shift -= width
+                parts.append(f"({w(idx)} << {shift})" if shift else w(idx))
+            return [f"{w(out_idx)} = {name}[{' | '.join(parts)}]"]
+        name = self.bind("F", logic.function)
+        args = ", ".join(w(i) for i in in_idx)
+        out = w(out_idx)
+        out_wire = logic.output
+        return [
+            f"{out} = {name}({args})",
+            f"if not 0 <= {out} <= {mask(out_wire.width)}: "
+            f"raise ValueError('wire %r: value %s does not fit in "
+            f"{out_wire.width} bits' % ({out_wire.name!r}, {out}))",
+        ]
+
+    def _transition_statement(self, component: TransitionTable) -> List[str]:
+        w = lambda i: f"w{i}"  # noqa: E731
+        state = w(self.wire_index(component.state))
+        out = w(self.wire_index(component.next_state))
+        name = self.bind("D", dict(component.table))
+        return [
+            f"{out} = {name}.get({state}, -1)",
+            f"if {out} < 0: raise KeyError('%s: state code %s has no "
+            f"transition entry' % ({component.name!r}, format({state}, '#x')))",
+        ]
+
+    def generate_program(self) -> None:
+        """Assemble and exec ``_settle`` / ``_run`` / ``_run_memo``."""
+        order = self.netlist.combinational_order()
+        n = len(self.wires)
+        names = [f"w{i}" for i in range(n)]
+        unpack = ", ".join(names) + ("," if names else "")
+        row = "(" + ", ".join(names) + ("," if names else "") + ")"
+
+        port_slot = {id(port): i for i, port in enumerate(self.ports)}
+        settle_body: List[str] = []
+        loop_body: List[str] = []
+        for component in order:
+            settle_body.extend(self._comb_statement(component, "0"))
+            # Constants stay in the loop body too: the interpreted oracle
+            # drives them every cycle, which matters for the first cycle
+            # of a never-reset netlist (previous value is the power-on
+            # initial, not the constant).
+            if type(component) is InputPort:
+                stim_expr = f"_t + 1 + _off[{port_slot[id(component)]}]"
+            else:
+                stim_expr = "0"
+            loop_body.extend(self._comb_statement(component, stim_expr))
+
+        capture = [
+            f"_c{i} = w{self.wire_index(reg.d)}"
+            for i, reg in enumerate(self.registers)
+        ]
+        commit = [
+            f"w{self.wire_index(reg.q)} = _c{i}"
+            for i, reg in enumerate(self.registers)
+        ]
+
+        def indent(lines: Sequence[str], level: int) -> str:
+            pad = "    " * level
+            return "\n".join(pad + line for line in lines) if lines else ""
+
+        step = "\n".join(
+            part for part in (
+                indent(capture, 2), indent(commit, 2), indent(loop_body, 2)
+            ) if part
+        )
+        settle = indent(settle_body, 1) or "    pass"
+        unpack_line = f"    {unpack} = _v\n" if names else ""
+        unpack_run = f"    {unpack} = _init\n" if names else ""
+
+        source = (
+            f"def _settle(_v):\n"
+            f"{unpack_line}"
+            f"{settle}\n"
+            f"    return {row}\n"
+            f"\n"
+            f"def _run(_cycles, _init, _off):\n"
+            f"    _rows = [_init]\n"
+            f"    _ap = _rows.append\n"
+            f"{unpack_run}"
+            f"    for _t in range(_cycles):\n"
+            f"{step}\n"
+            f"        _ap({row})\n"
+            f"    return _rows, None\n"
+            f"\n"
+            f"def _run_memo(_cycles, _init, _off):\n"
+            f"    _rows = [_init]\n"
+            f"    _ap = _rows.append\n"
+            f"    _seen = {{_init: 0}}\n"
+            f"{unpack_run}"
+            f"    for _t in range(_cycles):\n"
+            f"{step}\n"
+            f"        _r = {row}\n"
+            f"        _j = _seen.get(_r)\n"
+            f"        if _j is not None:\n"
+            f"            return _rows, _j\n"
+            f"        _seen[_r] = len(_rows)\n"
+            f"        _ap(_r)\n"
+            f"    return _rows, None\n"
+        )
+        self.source = source
+        exec(compile(source, f"<compiled:{self.netlist.name}>", "exec"),
+             self.namespace)
+
+    def fingerprint(self) -> Optional[str]:
+        if not self.fingerprintable:
+            return None
+        digest = hashlib.sha256(repr(tuple(self.records)).encode())
+        return digest.hexdigest()
+
+
+class CompiledNetlist:
+    """A netlist lowered to a flat, table-driven program.
+
+    Produced by :func:`compile_netlist`; exposes the same ``run`` /
+    ``wire_sequence`` interface as :class:`InterpretedEngine` and keeps
+    the owning :class:`~repro.hdl.netlist.Netlist` object's state in
+    sync after every run, so compiled and interpreted runs can be
+    interleaved freely (``reset=False`` continues where either left off).
+    """
+
+    name = "compiled"
+
+    def __init__(self, netlist: Netlist, lowering: _Lowering):
+        self.netlist = netlist
+        self.channels: Tuple[Channel, ...] = tuple(lowering.channels)
+        self.structural_key: Optional[str] = lowering.fingerprint()
+        self._lowering: Optional[_Lowering] = lowering
+        self._wires = lowering.wires
+        self._index = lowering.index
+        self._registers = lowering.registers
+        self._ports = lowering.ports
+        self._specs = lowering.activity_specs
+        self._settle = None
+        self._run = None
+        self._run_memo = None
+        self._memo_ok = not lowering.ports
+
+    def _ensure_program(self) -> None:
+        """Generate + exec the step program on first actual execution."""
+        if self._run is not None:
+            return
+        lowering = self._lowering
+        lowering.generate_program()
+        self.source: str = lowering.source
+        self._settle = lowering.namespace["_settle"]
+        self._run = lowering.namespace["_run"]
+        self._run_memo = lowering.namespace["_run_memo"]
+        self._lowering = None
+
+    # -- execution ---------------------------------------------------------
+
+    def _baseline(self, reset: bool) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Initial settled row + per-port stimulus offsets."""
+        if reset:
+            values = [wire._initial for wire in self._wires]
+            for register in self._registers:
+                values[self._index[id(register.q)]] = register.reset_value
+            return self._settle(tuple(values)), (0,) * len(self._ports)
+        return (
+            tuple(wire.value for wire in self._wires),
+            tuple(port._cycle for port in self._ports),
+        )
+
+    def _simulate(self, cycles: int, reset: bool) -> np.ndarray:
+        """Value matrix ``(cycles + 1, n_wires)``: row 0 is the baseline."""
+        self._ensure_program()
+        init, offsets = self._baseline(reset)
+        runner = (
+            self._run_memo
+            if self._memo_ok and cycles >= MEMO_MIN_CYCLES
+            else self._run
+        )
+        rows, repeat = runner(cycles, init, offsets)
+        base = np.array(rows, dtype=np.uint64)
+        if base.ndim == 1:  # zero-wire netlist
+            base = base.reshape(len(rows), 0)
+        if repeat is None:
+            values = base
+        else:
+            # rows[len(rows)] would equal rows[repeat]: the design
+            # re-entered a previous state.  Tile the periodic suffix.
+            period = len(rows) - repeat
+            missing = cycles + 1 - len(rows)
+            tiled = base[repeat + (np.arange(missing) % period)]
+            values = np.concatenate([base, tiled], axis=0)
+        self._write_back(values, offsets, cycles)
+        return values
+
+    def _write_back(
+        self, values: np.ndarray, offsets: Tuple[int, ...], cycles: int
+    ) -> None:
+        """Mirror the run's final state onto the netlist objects."""
+        last = values[-1]
+        prev = values[-2] if len(values) > 1 else values[-1]
+        for i, wire in enumerate(self._wires):
+            wire.value = int(last[i])
+            wire.previous = int(prev[i])
+        for register in self._registers:
+            q = self._index[id(register.q)]
+            register._captured = int(last[q])
+            register._last_toggles = int(last[q] ^ prev[q]).bit_count()
+        for port, offset in zip(self._ports, offsets):
+            port._cycle = offset + cycles
+
+    # -- activity ----------------------------------------------------------
+
+    def _activity_matrix(self, values: np.ndarray, cycles: int) -> np.ndarray:
+        current = values[1:]
+        previous = values[:-1]
+        hd_cache: Dict[int, np.ndarray] = {}
+
+        def hd(wire: int) -> np.ndarray:
+            column = hd_cache.get(wire)
+            if column is None:
+                column = _popcount(current[:, wire] ^ previous[:, wire]).astype(
+                    np.float64
+                )
+                hd_cache[wire] = column
+            return column
+
+        matrix = np.empty((cycles, len(self._specs)), dtype=np.float64)
+        for column, spec in enumerate(self._specs):
+            op = spec[0]
+            if op == "reg" or op == "out":
+                matrix[:, column] = hd(spec[1])
+            elif op == "in_out":
+                matrix[:, column] = hd(spec[1]) + hd(spec[2])
+            elif op == "inc":
+                _, a, out, width = spec
+                value = current[:, a]
+                ripple = np.minimum(
+                    _popcount(value ^ (value + np.uint64(1))), width
+                ).astype(np.float64)
+                matrix[:, column] = hd(out) + 2.0 * ripple
+            elif op == "lut":
+                _, inputs, out, glitch_factor = spec
+                toggles = np.zeros(cycles) if not inputs else sum(
+                    hd(i) for i in inputs
+                )
+                matrix[:, column] = hd(out) + glitch_factor * toggles
+            elif op == "tt":
+                matrix[:, column] = hd(spec[2]) + 0.5 * hd(spec[1])
+            elif op == "rom":
+                _, addr, data, precharge = spec
+                matrix[:, column] = hd(addr) + hd(data) + precharge
+            elif op == "io":
+                matrix[:, column] = hd(spec[1])
+            elif op == "clock":
+                matrix[:, column] = spec[1]
+            else:  # pragma: no cover - specs are produced in-module
+                raise CompileError(f"unknown activity spec {op!r}")
+        return matrix
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, cycles: int, reset: bool = True) -> ActivityTrace:
+        """Simulate ``cycles`` clock periods and return the activity."""
+        if cycles <= 0:
+            raise ValueError(f"cycles must be positive, got {cycles}")
+        values = self._simulate(cycles, reset)
+        return ActivityTrace(self.channels, self._activity_matrix(values, cycles))
+
+    def wire_sequence(self, wire: Wire, cycles: int) -> List[int]:
+        """Settled values of one wire after each clock edge (with reset)."""
+        index = self._index.get(id(wire))
+        if index is None:
+            raise KeyError(
+                f"wire {wire.name!r} is not part of netlist {self.netlist.name!r}"
+            )
+        values = self._simulate(max(cycles, 0), reset=True)
+        return [int(v) for v in values[1:, index]]
+
+
+class InterpretedEngine:
+    """The original object-walking simulation loop, kept as the oracle.
+
+    One shared cycle generator backs both activity recording and wire
+    sampling, so the two code paths cannot drift apart.
+    """
+
+    name = "interpreted"
+    structural_key: Optional[str] = None
+
+    def __init__(self, netlist: Netlist):
+        netlist.validate()
+        self.netlist = netlist
+        self._input_ports = [
+            c for c in netlist.components if isinstance(c, InputPort)
+        ]
+
+    def _discover_channels(self) -> List[Channel]:
+        """One activity channel per component that reports activity."""
+        channels: List[Channel] = []
+        for component in self.netlist.components:
+            for event in component.activity():
+                channels.append(Channel(event.component, event.kind))
+        return channels
+
+    def _advance(self, cycles: int):
+        """Drive the netlist one settled clock period per iteration."""
+        comb_order = self.netlist.combinational_order()
+        sequential = self.netlist.sequential_components
+        wires = list(self.netlist.wires.values())
+        for cycle in range(cycles):
+            for wire in wires:
+                wire.latch_previous()
+            for register in sequential:
+                register.capture()
+            for register in sequential:
+                register.commit()
+            for port in self._input_ports:
+                port.advance_cycle()
+            for component in comb_order:
+                component.evaluate()
+            yield cycle
+
+    def run(self, cycles: int, reset: bool = True) -> ActivityTrace:
+        """Simulate ``cycles`` clock periods and return the activity."""
+        if cycles <= 0:
+            raise ValueError(f"cycles must be positive, got {cycles}")
+        if reset:
+            self.netlist.reset()
+        channels = self._discover_channels()
+        index_of: Dict[Channel, int] = {c: i for i, c in enumerate(channels)}
+        matrix = np.zeros((cycles, len(channels)))
+        components = self.netlist.components
+        for cycle in self._advance(cycles):
+            for component in components:
+                for event in component.activity():
+                    channel = Channel(event.component, event.kind)
+                    matrix[cycle, index_of[channel]] += event.amount
+        return ActivityTrace(channels, matrix)
+
+    def wire_sequence(self, wire: Wire, cycles: int) -> List[int]:
+        """Settled values of one wire after each clock edge (with reset)."""
+        self.netlist.reset()
+        return [wire.value for _ in self._advance(cycles)]
+
+
+def compile_netlist(netlist: Netlist) -> CompiledNetlist:
+    """Lower a validated netlist into a :class:`CompiledNetlist`.
+
+    Raises :class:`CompileError` when the netlist contains constructs
+    the lowering pass cannot prove equivalent (custom component types,
+    foreign wires, buses wider than :data:`MAX_WIRE_WIDTH`).
+    """
+    netlist.validate()
+    lowering = _Lowering(netlist)
+    lowering.lower()
+    return CompiledNetlist(netlist, lowering)
+
+
+__all__ = [
+    "CompileError",
+    "CompiledNetlist",
+    "InterpretedEngine",
+    "compile_netlist",
+    "MAX_TABLE_BITS",
+    "MAX_WIRE_WIDTH",
+    "MEMO_MIN_CYCLES",
+]

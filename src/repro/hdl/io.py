@@ -40,6 +40,9 @@ class OutputPort(CombinationalComponent):
     def activity(self) -> List[ActivityEvent]:
         return [ActivityEvent(self.name, KIND_IO, float(self.source.toggles()))]
 
+    def activity_kinds(self):
+        return (KIND_IO,)
+
 
 class InputPort(CombinationalComponent):
     """Input pads driving an internal wire from an external stimulus.
@@ -71,6 +74,9 @@ class InputPort(CombinationalComponent):
     def activity(self) -> List[ActivityEvent]:
         return [ActivityEvent(self.name, KIND_IO, float(self.target.toggles()))]
 
+    def activity_kinds(self):
+        return (KIND_IO,)
+
 
 class ClockTree(Component):
     """The clock-distribution network.
@@ -89,3 +95,6 @@ class ClockTree(Component):
 
     def activity(self) -> List[ActivityEvent]:
         return [ActivityEvent(self.name, KIND_CLOCK, float(self.load))]
+
+    def activity_kinds(self):
+        return (KIND_CLOCK,)

@@ -70,3 +70,6 @@ class SyncROM(CombinationalComponent):
         bitline_toggles = self.data.toggles()
         amount = decoder_toggles + bitline_toggles + self.precharge_activity
         return [ActivityEvent(self.name, KIND_RAM, float(amount))]
+
+    def activity_kinds(self):
+        return (KIND_RAM,)

@@ -4,6 +4,11 @@ A :class:`Netlist` owns wires and components, checks that every wire
 has exactly one driver, and topologically orders the combinational
 components so a single evaluation pass per cycle settles all logic.
 Registers break combinational cycles, exactly as in synchronous RTL.
+
+The validated topological order is also the instruction order the
+lowering pass in :mod:`repro.hdl.engine` compiles into its flat
+step program, so validation here is the single source of truth for
+both the interpreted and the compiled execution engines.
 """
 
 from __future__ import annotations

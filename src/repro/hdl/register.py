@@ -62,3 +62,6 @@ class DRegister(SequentialComponent):
 
     def activity(self) -> List[ActivityEvent]:
         return [ActivityEvent(self.name, KIND_REGISTER, float(self._last_toggles))]
+
+    def activity_kinds(self):
+        return (KIND_REGISTER,)

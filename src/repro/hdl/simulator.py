@@ -1,46 +1,97 @@
-"""Cycle-accurate simulation of a netlist with activity recording.
+"""Cycle-accurate simulation front-end (compile-then-execute).
+
+:class:`Simulator` keeps the public ``run`` / ``state_sequence`` API of
+the original object-walking loop but delegates to one of two engines
+from :mod:`repro.hdl.engine`:
+
+* ``"compiled"`` (the default via ``"auto"``) — the netlist is lowered
+  once into a flat, table-driven program: a code-generated step
+  function advances all registers and combinational logic per clock,
+  and switching activity is accumulated into the ``(cycles, channels)``
+  matrix with vectorised NumPy Hamming weights, with zero per-cycle
+  object allocation.
+* ``"interpreted"`` — the original per-object loop, retained as a
+  reference oracle.  ``tests/test_engine.py`` asserts bit-identical
+  activity matrices between both engines for every paper design.
+
+``"auto"`` tries the compiled engine and silently falls back to the
+interpreted one for netlists the lowering pass does not support
+(custom component classes, >63-bit buses, wires not registered in the
+netlist).
 
 Each simulated cycle models one clock period of the synchronous design:
-
-1. all wires latch their settled values as "previous",
-2. every register samples its D input (recording the Hamming distance
-   it is about to switch through) and exposes the new Q,
-3. input ports advance their stimulus,
-4. combinational logic settles in topological order,
-5. every component reports its switching activity for the cycle.
-
-The recorded :class:`~repro.hdl.activity.ActivityTrace` is the raw
-material the power chain turns into oscilloscope-like traces.
+wires latch their settled values as "previous", registers capture and
+commit, input ports advance their stimulus, combinational logic
+settles in topological order, and every component's switching activity
+for the cycle is recorded.  The recorded
+:class:`~repro.hdl.activity.ActivityTrace` is the raw material the
+power chain turns into oscilloscope-like traces.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List, Optional, Tuple
 
-import numpy as np
-
-from repro.hdl.activity import ActivityTrace, Channel
-from repro.hdl.io import InputPort
+from repro.hdl.activity import ActivityTrace
+from repro.hdl.engine import CompileError, InterpretedEngine, compile_netlist
 from repro.hdl.netlist import Netlist
+
+#: Engine selectors accepted by :class:`Simulator`.
+ENGINES = ("auto", "compiled", "interpreted")
 
 
 class Simulator:
-    """Runs a netlist for a number of cycles and records activity."""
+    """Runs a netlist for a number of cycles and records activity.
 
-    def __init__(self, netlist: Netlist):
+    ``engine`` selects the execution strategy: ``"auto"`` (compiled
+    with interpreted fallback), ``"compiled"`` (raise
+    :class:`~repro.hdl.engine.CompileError` when lowering fails) or
+    ``"interpreted"`` (always use the reference loop).
+    """
+
+    def __init__(self, netlist: Netlist, engine: str = "auto"):
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
+            )
         netlist.validate()
         self.netlist = netlist
-        self._input_ports = [
-            c for c in netlist.components if isinstance(c, InputPort)
-        ]
+        self._engine_choice = engine
+        self._shape: Optional[Tuple[int, int]] = None
+        self._engine = None
+        self._refresh_engine()
 
-    def _discover_channels(self) -> List[Channel]:
-        """One activity channel per component that reports activity."""
-        channels: List[Channel] = []
-        for component in self.netlist.components:
-            for event in component.activity():
-                channels.append(Channel(event.component, event.kind))
-        return channels
+    def _refresh_engine(self) -> None:
+        """(Re)build the engine; recompiles if the netlist grew."""
+        shape = (len(self.netlist.wires), len(self.netlist.components))
+        if self._engine is not None and shape == self._shape:
+            return
+        self._shape = shape
+        if self._engine_choice == "interpreted":
+            self._engine = InterpretedEngine(self.netlist)
+            return
+        try:
+            self._engine = compile_netlist(self.netlist)
+        except CompileError:
+            if self._engine_choice == "compiled":
+                raise
+            self._engine = InterpretedEngine(self.netlist)
+
+    @property
+    def engine_name(self) -> str:
+        """Which engine is active: ``"compiled"`` or ``"interpreted"``."""
+        return self._engine.name
+
+    @property
+    def structural_key(self) -> Optional[str]:
+        """Structural fingerprint of the lowered netlist.
+
+        Two netlists with the same key are bit-for-bit guaranteed to
+        produce the same :class:`~repro.hdl.activity.ActivityTrace`;
+        ``None`` when the netlist cannot be fingerprinted (interpreted
+        engine, input ports, opaque lookup callables).
+        """
+        return self._engine.structural_key
 
     def run(self, cycles: int, reset: bool = True) -> ActivityTrace:
         """Simulate ``cycles`` clock periods and return the activity.
@@ -49,58 +100,18 @@ class Simulator:
         power-on state — the paper places all FSMs "in the exact same
         state before starting any power consumption measurements".
         """
-        if cycles <= 0:
-            raise ValueError(f"cycles must be positive, got {cycles}")
-        if reset:
-            self.netlist.reset()
-
-        channels = self._discover_channels()
-        index_of: Dict[Channel, int] = {c: i for i, c in enumerate(channels)}
-        matrix = np.zeros((cycles, len(channels)))
-
-        comb_order = self.netlist.combinational_order()
-        sequential = self.netlist.sequential_components
-
-        for cycle in range(cycles):
-            for wire in self.netlist.wires.values():
-                wire.latch_previous()
-            for register in sequential:
-                register.capture()
-            for register in sequential:
-                register.commit()
-            for port in self._input_ports:
-                port.advance_cycle()
-            for component in comb_order:
-                component.evaluate()
-            for component in self.netlist.components:
-                for event in component.activity():
-                    channel = Channel(event.component, event.kind)
-                    matrix[cycle, index_of[channel]] += event.amount
-
-        return ActivityTrace(channels, matrix)
+        self._refresh_engine()
+        return self._engine.run(cycles, reset)
 
     def state_sequence(self, register_name: str, cycles: int) -> List[int]:
         """Convenience: the Q values of one register over ``cycles`` cycles.
 
         Runs a fresh simulation (with reset) and samples the register
-        after each clock edge; useful for functional tests.
+        after each clock edge; useful for functional tests.  Both
+        engines express this through the same cycle machinery as
+        :meth:`run`, so the two paths cannot drift.
         """
         register = self.netlist.component(register_name)
         q_wire = register.output_wires[0]
-        self.netlist.reset()
-        comb_order = self.netlist.combinational_order()
-        sequential = self.netlist.sequential_components
-        sequence: List[int] = []
-        for cycle in range(cycles):
-            for wire in self.netlist.wires.values():
-                wire.latch_previous()
-            for reg in sequential:
-                reg.capture()
-            for reg in sequential:
-                reg.commit()
-            for port in self._input_ports:
-                port.advance_cycle()
-            for component in comb_order:
-                component.evaluate()
-            sequence.append(q_wire.value)
-        return sequence
+        self._refresh_engine()
+        return self._engine.wire_sequence(q_wire, cycles)
