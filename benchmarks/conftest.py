@@ -2,14 +2,33 @@
 
 Every benchmark module regenerates one table or figure of the paper
 (or one ablation from DESIGN.md) and prints the paper-versus-measured
-comparison, so ``pytest benchmarks/ --benchmark-only -s`` reproduces
-the whole evaluation section.
+comparison.  Everything under ``benchmarks/`` carries the ``bench``
+marker (applied below), which the default pytest run deselects — see
+``[tool.pytest.ini_options]`` in pyproject.toml.  Reproduce the whole
+evaluation section with::
+
+    pytest -m bench benchmarks/ -s
 """
 
 from __future__ import annotations
 
+import pathlib
+
 import numpy as np
 import pytest
+
+_BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every test collected from benchmarks/ as a benchmark.
+
+    The hook sees the whole session's items, so filter by path —
+    tests outside this directory must stay unmarked.
+    """
+    for item in items:
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,84 @@
+"""Benchmark: scenario-sweep throughput and store-hit latency.
+
+Measures the sweep runner on a reduced-parameter 12-scenario grid:
+cold execution throughput (scenarios/second, single worker — the
+multiprocess path has identical per-scenario cost plus pool overhead)
+and the warm path where every scenario is served from the
+content-addressed store.  Numbers land in ``BENCH_sweep.json`` so
+future orchestration PRs (batched engine execution, remote workers)
+can show their effect on the same surface.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+import tempfile
+
+import pytest
+
+from repro.sweeps import GridAxis, SweepSpec, SweepStore, run_sweep
+
+BENCH_FILE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+BASE = {
+    "parameters.k": 8,
+    "parameters.m": 8,
+    "parameters.n1": 64,
+    "parameters.n2": 256,
+}
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec(
+        name="bench",
+        grid=(
+            GridAxis("noise.sigma", (0.5, 1.0, 1.5)),
+            GridAxis("parameters.n2", (256, 512)),
+            GridAxis("attack", ("none", "strip")),
+        ),
+        base={k: v for k, v in BASE.items() if k != "parameters.n2"},
+        seed=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {}
+
+
+def test_bench_sweep_cold(benchmark, results):
+    roots = []
+
+    def run_cold():
+        root = tempfile.mkdtemp(prefix="bench_sweep_")
+        roots.append(root)
+        return run_sweep(_spec(), SweepStore(root), n_workers=1)
+
+    report = benchmark.pedantic(run_cold, rounds=3, iterations=1)
+    for root in roots:
+        shutil.rmtree(root, ignore_errors=True)
+    assert report.n_executed == 12
+    results["cold_seconds"] = benchmark.stats.stats.mean
+    results["scenarios_per_second"] = 12 / benchmark.stats.stats.mean
+
+
+def test_bench_sweep_warm_store(benchmark, results):
+    root = tempfile.mkdtemp(prefix="bench_sweep_")
+    store = SweepStore(root)
+    run_sweep(_spec(), store, n_workers=1)
+
+    report = benchmark.pedantic(
+        lambda: run_sweep(_spec(), store, n_workers=1), rounds=3, iterations=1
+    )
+    shutil.rmtree(root, ignore_errors=True)
+    assert report.n_executed == 0 and report.n_cached == 12
+    results["warm_seconds"] = benchmark.stats.stats.mean
+
+    summary = {
+        "grid": "noise.sigma x parameters.n2 x attack (12 scenarios, quick)",
+        **{key: round(value, 4) for key, value in results.items()},
+    }
+    BENCH_FILE.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"\nsweep bench: {summary}")

@@ -14,6 +14,8 @@ end on a simulated hardware substrate:
   chain replacing the paper's FPGAs and oscilloscope;
 * :mod:`repro.experiments` — drivers reproducing Fig. 4, Fig. 5 and
   Tables I/II;
+* :mod:`repro.sweeps` — declarative scenario sweeps over campaign
+  axes with multiprocess execution and a resumable result store;
 * :mod:`repro.baselines` — related-work comparators.
 
 Quickstart::
@@ -53,6 +55,14 @@ from repro.experiments import (
 )
 from repro.fsm import WatermarkedIP, attach_leakage_component
 from repro.power import NoiseModel, PowerModel, VariationModel, WaveformConfig
+from repro.sweeps import (
+    GridAxis,
+    RandomAxis,
+    SweepSpec,
+    SweepStore,
+    expand_scenarios,
+    run_sweep,
+)
 
 __version__ = "1.0.0"
 
@@ -86,4 +96,10 @@ __all__ = [
     "run_campaign",
     "build_device_fleet",
     "build_paper_ip",
+    "GridAxis",
+    "RandomAxis",
+    "SweepSpec",
+    "SweepStore",
+    "expand_scenarios",
+    "run_sweep",
 ]

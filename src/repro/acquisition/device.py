@@ -67,6 +67,7 @@ class Device:
         variation: Optional[DeviceVariation] = None,
         waveform: Optional[WaveformConfig] = None,
         default_cycles: int = 256,
+        engine: str = "auto",
     ):
         if default_cycles <= 0:
             raise ValueError("default_cycles must be positive")
@@ -76,6 +77,7 @@ class Device:
         self.variation = variation if variation is not None else DeviceVariation.nominal()
         self.waveform = waveform if waveform is not None else WaveformConfig()
         self.default_cycles = default_cycles
+        self.engine = engine
         self._activity_cache: Dict[int, ActivityTrace] = {}
         self._waveform_cache: Dict[int, np.ndarray] = {}
 
@@ -108,7 +110,7 @@ class Device:
         trace = self._activity_cache.get(cycles)
         if trace is not None:
             return trace
-        simulator = Simulator(self.ip.netlist)
+        simulator = Simulator(self.ip.netlist, engine=self.engine)
         fleet_key = None
         if simulator.structural_key is not None:
             fleet_key = (simulator.structural_key, cycles)

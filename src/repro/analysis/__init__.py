@@ -1,5 +1,12 @@
 """Statistics helpers and Monte-Carlo validation of the parameter math."""
 
+from repro.analysis.aggregate import (
+    group_rows,
+    mean_by,
+    pivot,
+    render_pivot,
+    render_rows,
+)
 from repro.analysis.collisions import (
     CollisionSummary,
     collision_summary,
@@ -30,6 +37,11 @@ from repro.analysis.stats import (
 )
 
 __all__ = [
+    "group_rows",
+    "mean_by",
+    "pivot",
+    "render_pivot",
+    "render_rows",
     "SummaryStats",
     "welch_t_test",
     "variance_ratio_f_test",

@@ -1,0 +1,119 @@
+"""Tidy-table aggregation helpers (group, pivot, render).
+
+A *tidy* table is a list of flat mappings, one observation per row —
+the natural output shape of a scenario sweep and the natural input
+shape of any plotting or statistics tool.  These helpers are
+deliberately dependency-free (no pandas in the image): grouping and
+pivoting over a handful of thousand rows is trivial in pure Python,
+and the ASCII renderer keeps CLI output readable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+Row = Mapping[str, object]
+
+
+def group_rows(
+    rows: Sequence[Row], by: Sequence[str]
+) -> "OrderedDict[Tuple[object, ...], List[Row]]":
+    """Group rows by the values of ``by`` (insertion-ordered)."""
+    groups: "OrderedDict[Tuple[object, ...], List[Row]]" = OrderedDict()
+    for row in rows:
+        key = tuple(row.get(column) for column in by)
+        groups.setdefault(key, []).append(row)
+    return groups
+
+
+def mean_by(
+    rows: Sequence[Row], by: Sequence[str], value: str
+) -> List[Dict[str, object]]:
+    """Mean of ``value`` per group; one tidy row per group."""
+    out: List[Dict[str, object]] = []
+    for key, members in group_rows(rows, by).items():
+        values = [float(row[value]) for row in members if row.get(value) is not None]
+        aggregated: Dict[str, object] = dict(zip(by, key))
+        aggregated[value] = sum(values) / len(values) if values else float("nan")
+        aggregated["n"] = len(values)
+        out.append(aggregated)
+    return out
+
+
+def pivot(
+    rows: Sequence[Row], index: str, columns: str, value: str
+) -> "OrderedDict[object, OrderedDict[object, object]]":
+    """Long-to-wide: ``table[index_value][column_value] = value``.
+
+    Later rows win on duplicate cells, mirroring a dict update; feed
+    pre-aggregated rows (e.g. from :func:`mean_by`) for a clean pivot.
+    """
+    table: "OrderedDict[object, OrderedDict[object, object]]" = OrderedDict()
+    for row in rows:
+        table.setdefault(row.get(index), OrderedDict())[row.get(columns)] = row.get(
+            value
+        )
+    return table
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_rows(
+    rows: Sequence[Row], columns: Optional[Sequence[str]] = None
+) -> str:
+    """Render tidy rows as an aligned ASCII table."""
+    if not rows:
+        return "(no rows)"
+    names = list(columns) if columns is not None else list(rows[0].keys())
+    cells = [[_format_cell(row.get(name)) for name in names] for row in rows]
+    widths = [
+        max(len(name), *(len(line[i]) for line in cells))
+        for i, name in enumerate(names)
+    ]
+    header = "  ".join(name.ljust(widths[i]) for i, name in enumerate(names))
+    rule = "  ".join("-" * width for width in widths)
+    body = "\n".join(
+        "  ".join(line[i].rjust(widths[i]) for i in range(len(names)))
+        for line in cells
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+def render_pivot(
+    table: Mapping[object, Mapping[object, object]],
+    index_name: str = "",
+) -> str:
+    """Render a :func:`pivot` result as an aligned ASCII matrix."""
+    if not table:
+        return "(empty)"
+    column_keys: List[object] = []
+    for row in table.values():
+        for key in row:
+            if key not in column_keys:
+                column_keys.append(key)
+    rows = [
+        dict(
+            {index_name or "index": index},
+            **{str(key): row.get(key) for key in column_keys},
+        )
+        for index, row in table.items()
+    ]
+    names = [index_name or "index"] + [str(key) for key in column_keys]
+    return render_rows(rows, columns=names)
+
+
+__all__ = [
+    "group_rows",
+    "mean_by",
+    "pivot",
+    "render_pivot",
+    "render_rows",
+]

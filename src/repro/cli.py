@@ -9,15 +9,27 @@ Usage::
     repro-watermark plan --alpha 10 --k 50   # parameter planning
     repro-watermark collisions      # exhaustive key-collision census
     repro-watermark keysearch       # CPA template attack on Kw
+    repro-watermark sweep           # scenario sweep (noise x budget x attack)
 
-All subcommands accept ``--seed`` to change the measurement seed.
+All subcommands accept ``--seed`` (measurement seed) and ``--engine``
+(pin the netlist-simulation path: auto / compiled / interpreted).
+
+``sweep`` runs a declarative scenario grid through the multiprocess
+sweep runner (:mod:`repro.sweeps`) into a content-addressed result
+store: interrupted or repeated invocations only execute scenarios
+whose results are not on disk yet.  Axes are ``field=v1,v2,...``
+pairs over campaign-config paths (``noise.sigma``, ``parameters.n2``,
+``adc.bits``, ``watermarked``, ``attack``, ...); values are parsed as
+JSON scalars.  Without ``--axis`` a default 24-scenario surface (noise
+x trace budget x attack) is swept at a reduced, fast parameter point.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.parameters import plan_parameters
 from repro.core.report import render_verdicts
@@ -30,10 +42,15 @@ from repro.experiments.tables import (
     render_table1,
     render_table2,
 )
+from repro.hdl.simulator import ENGINES
 
 
 def _campaign_config(args: argparse.Namespace) -> CampaignConfig:
-    return CampaignConfig(measurement_seed=args.seed, analysis_seed=args.seed + 1)
+    return CampaignConfig(
+        measurement_seed=args.seed,
+        analysis_seed=args.seed + 1,
+        engine=args.engine,
+    )
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -129,12 +146,158 @@ def _cmd_keysearch(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default sweep surface: noise x DUT trace budget x attack, at a
+#: reduced (fast) parameter point — 4 x 3 x 2 = 24 scenarios.
+DEFAULT_SWEEP_AXES: "Dict[str, List[object]]" = {
+    "noise.sigma": [0.5, 1.0, 1.5, 2.0],
+    "parameters.n2": [256, 512, 1024],
+    "attack": ["none", "strip"],
+}
+
+#: Reduced parameter point shared by every quick-sweep scenario
+#: (alpha = n2 / (k m) spans 4..16 across the default budget axis;
+#: the n2 here is the fallback when no axis sweeps it).
+DEFAULT_SWEEP_BASE: "Dict[str, object]" = {
+    "parameters.k": 8,
+    "parameters.m": 8,
+    "parameters.n1": 64,
+    "parameters.n2": 512,
+}
+
+
+def _parse_axis_value(text: str) -> object:
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _parse_axis(option: str) -> "tuple[str, List[object]]":
+    field, eq, csv = option.partition("=")
+    if not eq or not field or not csv:
+        raise argparse.ArgumentTypeError(
+            f"axis {option!r} is not of the form field=v1,v2,..."
+        )
+    return field, [_parse_axis_value(part) for part in csv.split(",")]
+
+
+def _parse_base(option: str) -> "tuple[str, object]":
+    field, values = _parse_axis(option)
+    if len(values) != 1:
+        raise argparse.ArgumentTypeError(
+            f"base override {option!r} must have exactly one value"
+        )
+    return field, values[0]
+
+
+def _parse_random_axis(option: str) -> "tuple[str, float, float, bool, bool]":
+    field, eq, bounds = option.partition("=")
+    parts = bounds.split(":")
+    if not eq or len(parts) < 2:
+        raise argparse.ArgumentTypeError(
+            f"random axis {option!r} is not of the form "
+            "field=low:high[:log][:int]"
+        )
+    modifiers = parts[2:]
+    unknown = [m for m in modifiers if m not in ("log", "int")]
+    if unknown or len(modifiers) != len(set(modifiers)):
+        raise argparse.ArgumentTypeError(
+            f"random axis {option!r}: bad modifier(s) {modifiers!r} "
+            "(supported: 'log', 'int', each at most once)"
+        )
+    return (
+        field,
+        float(parts[0]),
+        float(parts[1]),
+        "log" in modifiers,
+        "int" in modifiers,
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweeps import (
+        GridAxis,
+        RandomAxis,
+        SweepSpec,
+        SweepStore,
+        expand_scenarios,
+        render_sweep_summary,
+        run_sweep,
+    )
+    from repro.sweeps.executor import default_workers
+
+    if args.axis:
+        fields = [field for field, _ in args.axis]
+        duplicates = sorted({f for f in fields if fields.count(f) > 1})
+        if duplicates:
+            raise SystemExit(
+                f"error: --axis given twice for field(s) {duplicates}"
+            )
+        axes = dict(args.axis)
+    elif args.random:
+        # Random-only sweeps get no default grid; the random axes are
+        # the whole surface.
+        axes = {}
+    else:
+        axes = dict(DEFAULT_SWEEP_AXES)
+    base: Dict[str, object] = dict(DEFAULT_SWEEP_BASE) if args.quick else {}
+    base["engine"] = args.engine
+    if args.base:
+        base.update(dict(args.base))
+    try:
+        spec = SweepSpec(
+            name=args.name,
+            grid=tuple(
+                GridAxis(field, tuple(values)) for field, values in axes.items()
+            ),
+            random=tuple(
+                RandomAxis(field, low, high, log=log, integer=integer)
+                for field, low, high, log, integer in (args.random or ())
+            ),
+            n_random=args.samples if args.random else 0,
+            base=base,
+            seed=args.seed,
+        )
+    except (KeyError, ValueError, TypeError) as error:
+        message = error.args[0] if error.args else error
+        raise SystemExit(f"error: invalid sweep: {message}")
+    scenarios = expand_scenarios(spec)
+    store = SweepStore(args.store)
+    workers = args.workers if args.workers else default_workers()
+    print(
+        f"sweep {spec.name!r}: {len(scenarios)} scenarios "
+        f"({len(spec.grid)} grid axes"
+        + (f", {len(spec.random)} random axes x {spec.n_random}" if spec.random else "")
+        + f"), store {store.root}, {workers} worker(s)"
+    )
+    report = run_sweep(spec, store, n_workers=workers)
+    print(
+        f"executed {report.n_executed}, "
+        f"reused {report.n_cached} already in store"
+    )
+    print()
+    axis_names = list(axes) + [field for field, *_ in (args.random or ())]
+    index = axis_names[0] if axis_names else "noise.sigma"
+    if "attack" in axis_names:
+        columns = "attack"
+    else:
+        columns = axis_names[1] if len(axis_names) > 1 else index
+    print(render_sweep_summary(store, scenarios, index=index, columns=columns))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-watermark",
         description="Reproduce the SOCC 2014 IP-watermark verification paper.",
     )
     parser.add_argument("--seed", type=int, default=42, help="measurement seed")
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="auto",
+        help="netlist simulation path for every manufactured device",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("tables", help="Tables I and II, paper vs measured")
@@ -155,6 +318,55 @@ def build_parser() -> argparse.ArgumentParser:
     keysearch = subparsers.add_parser("keysearch", help="CPA template attack on Kw")
     keysearch.add_argument("--traces", type=int, default=300)
 
+    sweep = subparsers.add_parser(
+        "sweep", help="scenario sweep into a resumable result store"
+    )
+    sweep.add_argument(
+        "--axis",
+        type=_parse_axis,
+        action="append",
+        metavar="FIELD=V1,V2,...",
+        help="grid axis over a campaign-config path (repeatable); "
+        "defaults to the built-in noise x budget x attack surface",
+    )
+    sweep.add_argument(
+        "--random",
+        type=_parse_random_axis,
+        action="append",
+        metavar="FIELD=LOW:HIGH[:log][:int]",
+        help="randomly sampled axis: uniform, log-uniform with :log, "
+        "rounded to integers with :int (repeatable; needs --samples)",
+    )
+    sweep.add_argument(
+        "--samples", type=int, default=8, help="draws per random axis set"
+    )
+    sweep.add_argument(
+        "--base",
+        type=_parse_base,
+        action="append",
+        metavar="FIELD=VALUE",
+        help="fixed override applied to every scenario (repeatable)",
+    )
+    sweep.add_argument(
+        "--store",
+        default="sweep_store",
+        help="result-store directory (content-addressed, resumable)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = half the machine's cores)",
+    )
+    sweep.add_argument("--name", default="sweep", help="sweep name")
+    sweep.add_argument(
+        "--paper",
+        dest="quick",
+        action="store_false",
+        help="run every scenario at full paper parameters "
+        "(default is the reduced fast parameter point)",
+    )
+
     return parser
 
 
@@ -168,6 +380,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "plan": _cmd_plan,
         "collisions": _cmd_collisions,
         "keysearch": _cmd_keysearch,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)
 

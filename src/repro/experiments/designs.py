@@ -115,6 +115,7 @@ def build_device_fleet(
     waveform: Optional[WaveformConfig] = None,
     seed: int = 2014,
     watermarked: bool = True,
+    engine: str = "auto",
 ) -> Tuple[Dict[str, Device], Dict[str, Device]]:
     """Manufacture the eight devices of the paper's experiment.
 
@@ -122,6 +123,8 @@ def build_device_fleet(
     IPs and four DUTs named ``DUT#1..4``.  Every device gets a fresh
     netlist and an independent process-variation draw (pass
     ``variation_model=None`` for the no-variation ablation).
+    ``engine`` pins the simulation path of every device (see
+    :class:`~repro.hdl.simulator.Simulator`).
 
     Although each device owns a private netlist, the RefD and DUT built
     from the same IP are structurally identical, so the fleet-level
@@ -147,6 +150,7 @@ def build_device_fleet(
             variation=variation,
             waveform=waveform,
             default_cycles=PERIOD_CYCLES,
+            engine=engine,
         )
 
     refds = {name: manufacture(name, name) for name in IP_SPECS}

@@ -9,8 +9,8 @@ the 16 correlation sets with all distinguisher verdicts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,7 +38,13 @@ REF_ORDER: Tuple[str, ...] = ("IP_A", "IP_B", "IP_C", "IP_D")
 
 @dataclass
 class CampaignConfig:
-    """Everything needed to run one campaign reproducibly."""
+    """Everything needed to run one campaign reproducibly.
+
+    ``engine`` pins the netlist-simulation path of every manufactured
+    device: ``"auto"`` (compiled with interpreted fallback),
+    ``"compiled"`` or ``"interpreted"`` — see
+    :class:`~repro.hdl.simulator.Simulator`.
+    """
 
     parameters: ProcessParameters = field(default_factory=ProcessParameters)
     noise: NoiseModel = field(default_factory=NoiseModel)
@@ -52,6 +58,7 @@ class CampaignConfig:
     analysis_seed: int = 7
     watermarked: bool = True
     single_reference: bool = True
+    engine: str = "auto"
 
 
 @dataclass
@@ -119,7 +126,64 @@ def manufacture_fleet(cfg: CampaignConfig):
         waveform=cfg.waveform,
         seed=cfg.fleet_seed,
         watermarked=cfg.watermarked,
+        engine=cfg.engine,
     )
+
+
+def apply_config_overrides(
+    config: CampaignConfig, overrides: Mapping[str, object]
+) -> CampaignConfig:
+    """Return a copy of ``config`` with dotted-path overrides applied.
+
+    This is the scenario-level entry point the sweep subsystem uses to
+    turn a flat axis assignment into a runnable config: top-level
+    fields are named directly (``"watermarked"``, ``"engine"``,
+    ``"measurement_seed"``) and fields of the nested dataclasses with
+    one dot (``"noise.sigma"``, ``"parameters.n2"``, ``"adc.bits"``,
+    ``"variation.component_sigma"``).  Setting a nullable nested field
+    (``"adc"``, ``"variation"``, ``"waveform"``) to ``None`` disables
+    it; overriding *into* a nested field that is currently ``None``
+    starts from that dataclass's defaults.  Unknown paths raise
+    ``KeyError`` so a typo in a sweep axis fails loudly instead of
+    silently sweeping nothing.
+    """
+    nested_defaults = {
+        "parameters": ProcessParameters,
+        "noise": NoiseModel,
+        "power_model": PowerModel,
+        "waveform": WaveformConfig,
+        "variation": VariationModel,
+        "adc": ADCConfig,
+    }
+    top: Dict[str, object] = {}
+    nested: Dict[str, Dict[str, object]] = {}
+    valid_top = {f.name for f in CampaignConfig.__dataclass_fields__.values()}
+    for path, value in overrides.items():
+        head, dot, rest = path.partition(".")
+        if head not in valid_top:
+            raise KeyError(f"unknown campaign config field {path!r}")
+        if not dot:
+            top[head] = value
+        else:
+            if head not in nested_defaults:
+                raise KeyError(f"field {head!r} has no sub-fields ({path!r})")
+            if "." in rest:
+                raise KeyError(f"override path {path!r} nests too deep")
+            nested.setdefault(head, {})[rest] = value
+    for head, fields in nested.items():
+        if head in top:
+            raise KeyError(
+                f"cannot override both {head!r} and {head}.{next(iter(fields))!r}"
+            )
+        factory = nested_defaults[head]
+        valid_sub = {f for f in factory.__dataclass_fields__}
+        unknown = set(fields) - valid_sub
+        if unknown:
+            raise KeyError(f"unknown {head} field(s): {sorted(unknown)}")
+        current = getattr(config, head)
+        base = current if current is not None else factory()
+        top[head] = replace(base, **fields)
+    return replace(config, **top)
 
 
 def run_campaign(
@@ -172,19 +236,10 @@ def repeated_accuracy(
     fleet = manufacture_fleet(cfg)
     totals = {name: 0.0 for name in distinguisher_names}
     for repeat in range(n_repeats):
-        repeat_cfg = CampaignConfig(
-            parameters=cfg.parameters,
-            noise=cfg.noise,
-            power_model=cfg.power_model,
-            waveform=cfg.waveform,
-            variation=cfg.variation,
-            adc=cfg.adc,
-            distinguishers=cfg.distinguishers,
-            fleet_seed=cfg.fleet_seed,
+        repeat_cfg = replace(
+            cfg,
             measurement_seed=cfg.measurement_seed + 1000 * (repeat + 1),
             analysis_seed=cfg.analysis_seed + 1000 * (repeat + 1),
-            watermarked=cfg.watermarked,
-            single_reference=cfg.single_reference,
         )
         outcome = run_campaign(repeat_cfg, fleet=fleet)
         for name in distinguisher_names:
@@ -195,6 +250,7 @@ def repeated_accuracy(
 __all__ = [
     "CampaignConfig",
     "CampaignOutcome",
+    "apply_config_overrides",
     "manufacture_fleet",
     "run_campaign",
     "repeated_accuracy",

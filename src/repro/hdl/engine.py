@@ -43,7 +43,8 @@ the interpreted reference engine automatically.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -80,6 +81,30 @@ MEMO_MIN_CYCLES = 512
 class CompileError(Exception):
     """The netlist contains a construct the lowering pass cannot prove
     equivalent to the interpreted semantics."""
+
+
+#: Process-wide cache of generated step programs keyed on the
+#: structural fingerprint.  Two netlists with the same fingerprint
+#: lower to byte-identical source over identical wire indices and
+#: value-equal bound constants, so the exec'd ``_settle`` / ``_run`` /
+#: ``_run_memo`` functions can be shared: a fleet of N devices
+#: manufactured from the same IP compiles its program exactly once.
+_PROGRAM_CACHE: "OrderedDict[str, Tuple[str, Callable, Callable, Callable]]" = (
+    OrderedDict()
+)
+
+#: Upper bound on distinct cached programs (LRU eviction).
+PROGRAM_CACHE_MAX = 128
+
+
+def clear_program_cache() -> None:
+    """Drop every shared compiled program (mainly for tests)."""
+    _PROGRAM_CACHE.clear()
+
+
+def program_cache_size() -> int:
+    """Number of distinct netlist structures with a cached program."""
+    return len(_PROGRAM_CACHE)
 
 
 if hasattr(np, "bitwise_count"):
@@ -510,11 +535,29 @@ class CompiledNetlist:
         self._run = None
         self._run_memo = None
         self._memo_ok = not lowering.ports
+        #: True when :meth:`_ensure_program` found the step program in
+        #: the process-wide cache instead of generating it.
+        self.program_shared = False
 
     def _ensure_program(self) -> None:
-        """Generate + exec the step program on first actual execution."""
+        """Attach the step program on first actual execution.
+
+        Fingerprintable netlists consult the process-wide program cache
+        first: a fleet of structurally identical netlists generates and
+        ``exec``-compiles the program once and shares the functions
+        (they are pure in their arguments, so sharing is safe).
+        """
         if self._run is not None:
             return
+        key = self.structural_key
+        if key is not None:
+            cached = _PROGRAM_CACHE.get(key)
+            if cached is not None:
+                _PROGRAM_CACHE.move_to_end(key)
+                self.source, self._settle, self._run, self._run_memo = cached
+                self.program_shared = True
+                self._lowering = None
+                return
         lowering = self._lowering
         lowering.generate_program()
         self.source: str = lowering.source
@@ -522,6 +565,12 @@ class CompiledNetlist:
         self._run = lowering.namespace["_run"]
         self._run_memo = lowering.namespace["_run_memo"]
         self._lowering = None
+        if key is not None:
+            _PROGRAM_CACHE[key] = (
+                self.source, self._settle, self._run, self._run_memo
+            )
+            while len(_PROGRAM_CACHE) > PROGRAM_CACHE_MAX:
+                _PROGRAM_CACHE.popitem(last=False)
 
     # -- execution ---------------------------------------------------------
 
@@ -731,7 +780,10 @@ __all__ = [
     "CompiledNetlist",
     "InterpretedEngine",
     "compile_netlist",
+    "clear_program_cache",
+    "program_cache_size",
     "MAX_TABLE_BITS",
     "MAX_WIRE_WIDTH",
     "MEMO_MIN_CYCLES",
+    "PROGRAM_CACHE_MAX",
 ]

@@ -1,0 +1,73 @@
+"""Scenario-sweep orchestration: declarative sweeps, multiprocess
+execution, resumable content-addressed results, tidy aggregation.
+
+The paper's evaluation is one operating point; this subsystem turns it
+into surfaces.  Describe the axes once (:class:`SweepSpec`), execute
+with any number of workers (:func:`run_sweep` — results are
+bit-identical regardless), interrupt and resume freely (the
+:class:`SweepStore` is content-addressed, so only missing scenarios
+ever execute), then read tidy accuracy/ROC tables back
+(:mod:`repro.sweeps.aggregate`).
+"""
+
+from repro.sweeps.aggregate import (
+    accuracy_pivot,
+    matching_scores,
+    render_sweep_summary,
+    roc_by_axis,
+    tidy_accuracy,
+)
+from repro.sweeps.executor import (
+    SweepReport,
+    default_workers,
+    run_sweep,
+)
+from repro.sweeps.scenario import (
+    ATTACKS,
+    apply_attack,
+    outcome_arrays,
+    outcome_metrics,
+    run_scenario,
+    run_scenario_campaign,
+)
+from repro.sweeps.spec import (
+    ATTACK_FIELD,
+    CONFIG_FIELDS,
+    GridAxis,
+    RandomAxis,
+    Scenario,
+    SweepSpec,
+    expand_scenarios,
+    scenario_config,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.sweeps.store import SweepStore
+
+__all__ = [
+    "ATTACKS",
+    "ATTACK_FIELD",
+    "CONFIG_FIELDS",
+    "GridAxis",
+    "RandomAxis",
+    "Scenario",
+    "SweepSpec",
+    "SweepReport",
+    "SweepStore",
+    "accuracy_pivot",
+    "apply_attack",
+    "default_workers",
+    "expand_scenarios",
+    "matching_scores",
+    "outcome_arrays",
+    "outcome_metrics",
+    "render_sweep_summary",
+    "roc_by_axis",
+    "run_scenario",
+    "run_scenario_campaign",
+    "run_sweep",
+    "scenario_config",
+    "spec_from_dict",
+    "spec_to_dict",
+    "tidy_accuracy",
+]

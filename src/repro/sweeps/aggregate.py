@@ -1,0 +1,177 @@
+"""Turn a sweep's stored results into tidy accuracy / ROC tables.
+
+The store holds one record per scenario; analysis wants *tables over
+the swept axes*.  This module flattens records into tidy rows (one row
+per scenario x distinguisher, carrying the scenario's axis assignment
+as columns) and builds screening ROC curves by pooling matching
+vs. non-matching correlation means across scenarios, grouped by any
+axis — e.g. AUC as a function of noise sigma.
+
+Works from the generic helpers in :mod:`repro.analysis.aggregate`, so
+downstream consumers can regroup/re-pivot the same rows freely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.aggregate import mean_by, pivot, render_pivot, render_rows
+from repro.analysis.roc import ROCCurve, roc_from_scores
+from repro.sweeps.spec import Scenario
+from repro.sweeps.store import SweepStore
+
+
+def _records_for(
+    store: SweepStore, scenarios: Optional[Sequence[Scenario]]
+) -> List[Mapping[str, object]]:
+    if scenarios is None:
+        return store.records()
+    return [
+        store.get(s.scenario_id) for s in scenarios if store.has(s.scenario_id)
+    ]
+
+
+def tidy_accuracy(
+    store: SweepStore, scenarios: Optional[Sequence[Scenario]] = None
+) -> List[Dict[str, object]]:
+    """One tidy row per (scenario, distinguisher).
+
+    Columns: ``scenario_id``, every axis of the scenario's assignment,
+    ``attack``, ``distinguisher``, ``accuracy`` and the mean confidence
+    distance over the four reference rows.  Restricting to
+    ``scenarios`` (e.g. one spec's expansion) keeps unrelated results
+    sharing the store out of the table.
+    """
+    rows: List[Dict[str, object]] = []
+    for record in _records_for(store, scenarios):
+        metrics = record["metrics"]
+        assignment = dict(record.get("assignment", {}))
+        for name, accuracy in sorted(metrics["accuracy"].items()):
+            confidence = metrics["confidence_percent"].get(name, {})
+            values = list(confidence.values())
+            rows.append(
+                dict(
+                    {
+                        "scenario_id": record["scenario_id"],
+                        "attack": record.get("attack", "none"),
+                    },
+                    **assignment,
+                    distinguisher=name,
+                    accuracy=float(accuracy),
+                    mean_confidence=(
+                        sum(values) / len(values) if values else float("nan")
+                    ),
+                )
+            )
+    return rows
+
+
+def accuracy_pivot(
+    rows: Sequence[Mapping[str, object]],
+    index: str,
+    columns: str,
+    distinguisher: str = "lower-variance",
+) -> str:
+    """ASCII accuracy surface: mean accuracy of one distinguisher,
+    ``index`` down the side, ``columns`` across the top."""
+    selected = [row for row in rows if row.get("distinguisher") == distinguisher]
+    aggregated = mean_by(selected, by=(index, columns), value="accuracy")
+    return render_pivot(
+        pivot(aggregated, index=index, columns=columns, value="accuracy"),
+        index_name=index,
+    )
+
+
+def matching_scores(
+    record: Mapping[str, object]
+) -> "tuple[List[float], List[float]]":
+    """Split one record's 16 correlation means into (genuine, counterfeit).
+
+    Genuine = the four RefD/DUT pairs that share an IP; counterfeit =
+    the twelve mismatched pairs.  These are the score populations of
+    the screening decision.
+    """
+    metrics = record["metrics"]
+    expected = metrics["expected_matches"]
+    genuine: List[float] = []
+    counterfeit: List[float] = []
+    for ref, row in metrics["means"].items():
+        for dut, mean in row.items():
+            (genuine if expected.get(ref) == dut else counterfeit).append(
+                float(mean)
+            )
+    return genuine, counterfeit
+
+
+def roc_by_axis(
+    store: SweepStore,
+    axis: str,
+    scenarios: Optional[Sequence[Scenario]] = None,
+) -> List[Dict[str, object]]:
+    """Screening ROC per value of one swept axis.
+
+    Pools matching/non-matching correlation means over every scenario
+    sharing the axis value and returns tidy rows with the resulting
+    AUC and population sizes.
+    """
+    groups: Dict[object, "tuple[List[float], List[float]]"] = {}
+    for record in _records_for(store, scenarios):
+        assignment = record.get("assignment", {})
+        if axis == "attack":
+            key = record.get("attack", "none")
+        elif axis in assignment:
+            key = assignment[axis]
+        else:
+            key = record.get("overrides", {}).get(axis)
+        genuine, counterfeit = matching_scores(record)
+        pooled = groups.setdefault(key, ([], []))
+        pooled[0].extend(genuine)
+        pooled[1].extend(counterfeit)
+    def group_order(key: object) -> "tuple[int, float, str]":
+        # Numbers sort numerically, everything else lexically after.
+        if isinstance(key, (int, float)) and not isinstance(key, bool):
+            return (0, float(key), "")
+        return (1, 0.0, str(key))
+
+    rows: List[Dict[str, object]] = []
+    for key in sorted(groups, key=group_order):
+        genuine, counterfeit = groups[key]
+        curve: ROCCurve = roc_from_scores(genuine, counterfeit)
+        rows.append(
+            {
+                axis: key,
+                "auc": curve.auc,
+                "n_genuine": len(genuine),
+                "n_counterfeit": len(counterfeit),
+            }
+        )
+    return rows
+
+
+def render_sweep_summary(
+    store: SweepStore,
+    scenarios: Optional[Sequence[Scenario]] = None,
+    index: str = "noise.sigma",
+    columns: str = "attack",
+) -> str:
+    """Human-readable sweep digest: accuracy surfaces + screening AUC."""
+    rows = tidy_accuracy(store, scenarios)
+    if not rows:
+        return "(store holds no results for this sweep)"
+    parts: List[str] = []
+    for name in sorted({str(row["distinguisher"]) for row in rows}):
+        parts.append(f"accuracy[{name}] — {index} x {columns}:")
+        parts.append(accuracy_pivot(rows, index, columns, distinguisher=name))
+        parts.append("")
+    parts.append(f"screening AUC by {index}:")
+    parts.append(render_rows(roc_by_axis(store, index, scenarios)))
+    return "\n".join(parts)
+
+
+__all__ = [
+    "accuracy_pivot",
+    "matching_scores",
+    "roc_by_axis",
+    "render_sweep_summary",
+    "tidy_accuracy",
+]

@@ -1,0 +1,150 @@
+"""Multiprocess sweep execution with incremental resume.
+
+:func:`run_sweep` expands a :class:`~repro.sweeps.spec.SweepSpec`,
+skips every scenario already present in the
+:class:`~repro.sweeps.store.SweepStore`, and executes the missing ones
+— inline for ``n_workers <= 1``, otherwise on a ``multiprocessing``
+pool in chunked work units.
+
+Determinism: a scenario's result is a pure function of its override
+mapping (all seeds are inside it, derived from the spec), and every
+worker writes results through the same deterministic serialisation.  A
+4-worker run therefore produces a byte-identical store to a 1-worker
+run; only wall-clock time changes.  Workers write each finished
+scenario to the store *immediately*, so killing a sweep loses at most
+the scenarios in flight — a rerun picks up exactly the missing ones.
+
+Chunking walks the expansion order, which groups scenarios that share
+a fleet structure; inside one worker chunk the process-wide activity
+and compiled-program caches then make consecutive scenarios cheap.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.sweeps.scenario import run_scenario
+from repro.sweeps.spec import Scenario, SweepSpec, expand_scenarios
+from repro.sweeps.store import SweepStore
+
+#: Chunks per worker the pending list is split into (larger = better
+#: load balancing, smaller = better cache locality inside a chunk).
+CHUNKS_PER_WORKER = 4
+
+
+@dataclass
+class SweepReport:
+    """What one :func:`run_sweep` call did."""
+
+    spec_name: str
+    store_root: str
+    scenario_ids: List[str]
+    executed_ids: List[str] = field(default_factory=list)
+    cached_ids: List[str] = field(default_factory=list)
+    n_workers: int = 1
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.scenario_ids)
+
+    @property
+    def n_executed(self) -> int:
+        return len(self.executed_ids)
+
+    @property
+    def n_cached(self) -> int:
+        return len(self.cached_ids)
+
+
+def _execute_into_store(store_root: str, scenario: Scenario) -> str:
+    """Run one scenario and persist it; returns the scenario id."""
+    result = run_scenario(scenario)
+    SweepStore(store_root).put(
+        scenario.scenario_id, result["record"], result["arrays"]
+    )
+    return scenario.scenario_id
+
+
+def _pool_worker(payload: Tuple[str, Scenario]) -> str:
+    """Module-level pool target (must be picklable on every start method)."""
+    store_root, scenario = payload
+    return _execute_into_store(store_root, scenario)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (cheap, inherits warm caches); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def default_workers() -> int:
+    """A sensible worker count for this machine (half the cores, >= 1)."""
+    return max(1, (os.cpu_count() or 2) // 2)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    store: SweepStore,
+    n_workers: int = 1,
+    progress: Optional[Callable[[str, bool], None]] = None,
+) -> SweepReport:
+    """Execute every missing scenario of ``spec`` into ``store``.
+
+    ``progress`` (if given) is called as ``progress(scenario_id,
+    executed)`` once per scenario — immediately for cache hits, on
+    completion for executed ones.  Returns a :class:`SweepReport`;
+    aggregate results are read back from the store (see
+    :mod:`repro.sweeps.aggregate`).
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    scenarios = expand_scenarios(spec)
+    report = SweepReport(
+        spec_name=spec.name,
+        store_root=store.root,
+        scenario_ids=[s.scenario_id for s in scenarios],
+        n_workers=n_workers,
+    )
+    pending: List[Scenario] = []
+    for scenario in scenarios:
+        if store.has(scenario.scenario_id):
+            report.cached_ids.append(scenario.scenario_id)
+            if progress is not None:
+                progress(scenario.scenario_id, False)
+        else:
+            pending.append(scenario)
+
+    if not pending:
+        return report
+
+    if n_workers == 1 or len(pending) == 1:
+        for scenario in pending:
+            _execute_into_store(store.root, scenario)
+            report.executed_ids.append(scenario.scenario_id)
+            if progress is not None:
+                progress(scenario.scenario_id, True)
+    else:
+        n_procs = min(n_workers, len(pending))
+        chunksize = max(1, len(pending) // (n_procs * CHUNKS_PER_WORKER))
+        payloads = [(store.root, scenario) for scenario in pending]
+        with _pool_context().Pool(processes=n_procs) as pool:
+            for scenario_id in pool.imap_unordered(
+                _pool_worker, payloads, chunksize=chunksize
+            ):
+                report.executed_ids.append(scenario_id)
+                if progress is not None:
+                    progress(scenario_id, True)
+    # Keep reporting deterministic regardless of completion order.
+    report.executed_ids.sort()
+    return report
+
+
+__all__ = [
+    "CHUNKS_PER_WORKER",
+    "SweepReport",
+    "default_workers",
+    "run_sweep",
+]

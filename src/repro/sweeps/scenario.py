@@ -1,0 +1,119 @@
+"""Execute one sweep scenario end-to-end.
+
+A scenario run is a pure function of its override mapping: manufacture
+the fleet described by the config, optionally apply an attack
+transform from :mod:`repro.attacks` to every DUT (the adversary
+tampers with the devices under test, never with the verifier's
+references), run the full 4x4 verification campaign, and distil the
+outcome into a JSON-able metrics payload plus the 16 raw correlation
+sets (persisted as a deterministic array bundle by the store).
+
+Everything downstream — resumability, worker-count invariance,
+byte-identical stores — rests on this module deriving *all* randomness
+from the seeds inside the overrides and emitting only
+deterministically ordered, canonically typed data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.attacks.removal import strip_output_pads_only, strip_watermark
+from repro.experiments.designs import EXPECTED_MATCHES
+from repro.experiments.runner import (
+    CampaignOutcome,
+    manufacture_fleet,
+    run_campaign,
+)
+from repro.sweeps.spec import ATTACK_FIELD, Scenario, scenario_config
+
+#: DUT netlist transforms selectable through the ``"attack"`` axis.
+#: ``None`` means no tampering; the callables mutate a
+#: :class:`~repro.fsm.watermark.WatermarkedIP` in place.
+ATTACKS: Dict[str, Optional[Callable]] = {
+    "none": None,
+    "strip": strip_watermark,
+    "strip_pads": strip_output_pads_only,
+}
+
+
+def apply_attack(duts: Mapping[str, object], attack: str) -> None:
+    """Apply one named transform to every DUT's IP, in place."""
+    try:
+        transform = ATTACKS[attack]
+    except KeyError:
+        raise KeyError(
+            f"unknown attack {attack!r}; choose from {sorted(ATTACKS)}"
+        ) from None
+    if transform is None:
+        return
+    for device in duts.values():
+        transform(device.ip)
+
+
+def run_scenario_campaign(scenario: Scenario) -> CampaignOutcome:
+    """Manufacture, attack and measure one scenario's campaign."""
+    config = scenario_config(scenario)
+    refds, duts = manufacture_fleet(config)
+    apply_attack(duts, scenario.attack)
+    return run_campaign(config, fleet=(refds, duts))
+
+
+def outcome_metrics(outcome: CampaignOutcome) -> Dict[str, object]:
+    """Distil a campaign outcome into a JSON-able metrics payload."""
+    accuracy = {
+        d.name: outcome.accuracy(d.name) for d in outcome.config.distinguishers
+    }
+    confidence = {
+        d.name: outcome.confidence_distances(d.name)
+        for d in outcome.config.distinguishers
+    }
+    return {
+        "accuracy": accuracy,
+        "confidence_percent": confidence,
+        "verdicts": outcome.verdict_matrix(),
+        "means": outcome.means,
+        "variances": outcome.variances,
+        "expected_matches": dict(EXPECTED_MATCHES),
+        "all_correct": bool(outcome.all_correct),
+    }
+
+
+def outcome_arrays(outcome: CampaignOutcome) -> Dict[str, np.ndarray]:
+    """The 16 correlation C sets, keyed ``C/<ref>/<dut>``."""
+    arrays: Dict[str, np.ndarray] = {}
+    for ref in outcome.ref_order:
+        for dut, coefficients in outcome.correlation_sets(ref).items():
+            arrays[f"C/{ref}/{dut}"] = np.asarray(coefficients, dtype=np.float64)
+    return arrays
+
+
+def run_scenario(scenario: Scenario) -> Dict[str, object]:
+    """Run one scenario and return its full result payload.
+
+    The returned mapping has two parts: ``"record"`` (JSON-able —
+    scenario identity, overrides, metrics) and ``"arrays"`` (the raw
+    correlation sets for the array bundle).
+    """
+    outcome = run_scenario_campaign(scenario)
+    record = {
+        "scenario_id": scenario.scenario_id,
+        "overrides": dict(scenario.overrides),
+        "assignment": dict(scenario.assignment),
+        "attack": scenario.attack,
+        "metrics": outcome_metrics(outcome),
+    }
+    return {"record": record, "arrays": outcome_arrays(outcome)}
+
+
+__all__ = [
+    "ATTACKS",
+    "ATTACK_FIELD",
+    "apply_attack",
+    "run_scenario",
+    "run_scenario_campaign",
+    "outcome_metrics",
+    "outcome_arrays",
+]

@@ -1,0 +1,128 @@
+"""Content-addressed, resumable on-disk result store.
+
+Each completed scenario is persisted under its content digest as a
+pair of files inside the store root:
+
+* ``<id>.json`` — the JSON record (overrides + metrics), written with
+  sorted keys and compact separators so its bytes are a pure function
+  of its contents;
+* ``<id>.npz`` — the raw correlation sets as a deterministic array
+  bundle (see :func:`repro.acquisition.io.save_array_bundle`).
+
+The JSON file is written *after* the bundle via an atomic rename, so
+its presence is the completion marker: a sweep killed mid-scenario
+leaves at worst an orphaned bundle or temp file, never a half-result
+that :meth:`SweepStore.has` would wrongly count as done.  Re-running a
+sweep (or a *different* sweep that happens to share scenarios) executes
+only the missing digests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Iterator, List, Mapping, Optional
+
+import numpy as np
+
+from repro.acquisition.io import load_array_bundle, save_array_bundle
+from repro.sweeps.spec import canonical_json
+
+
+class SweepStore:
+    """Directory of scenario results keyed by content digest."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    # -- paths -------------------------------------------------------------
+
+    def record_path(self, scenario_id: str) -> str:
+        return os.path.join(self.root, f"{scenario_id}.json")
+
+    def arrays_path(self, scenario_id: str) -> str:
+        return os.path.join(self.root, f"{scenario_id}.npz")
+
+    # -- queries -----------------------------------------------------------
+
+    def has(self, scenario_id: str) -> bool:
+        """True when the scenario completed (record file present)."""
+        return os.path.exists(self.record_path(scenario_id))
+
+    def ids(self) -> List[str]:
+        """Sorted digests of every completed scenario."""
+        return sorted(
+            entry[: -len(".json")]
+            for entry in os.listdir(self.root)
+            if entry.endswith(".json") and not entry.startswith(".tmp-")
+        )
+
+    def __len__(self) -> int:
+        return len(self.ids())
+
+    def __contains__(self, scenario_id: str) -> bool:
+        return self.has(scenario_id)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.ids())
+
+    # -- I/O ---------------------------------------------------------------
+
+    def _atomic_write(self, path: str, data: bytes) -> None:
+        handle, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=os.path.basename(path)
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def put(
+        self,
+        scenario_id: str,
+        record: Mapping[str, object],
+        arrays: Optional[Mapping[str, np.ndarray]] = None,
+    ) -> None:
+        """Persist one completed scenario (bundle first, record last)."""
+        if arrays:
+            bundle = tempfile.mkstemp(
+                dir=self.root, prefix=".tmp-", suffix=".npz"
+            )
+            os.close(bundle[0])
+            try:
+                save_array_bundle(
+                    bundle[1], arrays, metadata={"scenario_id": scenario_id}
+                )
+                os.replace(bundle[1], self.arrays_path(scenario_id))
+            except BaseException:
+                if os.path.exists(bundle[1]):
+                    os.unlink(bundle[1])
+                raise
+        payload = (canonical_json(dict(record)) + "\n").encode()
+        self._atomic_write(self.record_path(scenario_id), payload)
+
+    def get(self, scenario_id: str) -> Dict[str, object]:
+        """Load one scenario's JSON record."""
+        with open(self.record_path(scenario_id)) as handle:
+            return json.load(handle)
+
+    def get_arrays(self, scenario_id: str) -> Dict[str, np.ndarray]:
+        """Load one scenario's correlation sets (empty if none saved)."""
+        path = self.arrays_path(scenario_id)
+        if not os.path.exists(path):
+            return {}
+        arrays, _ = load_array_bundle(path)
+        return arrays
+
+    def records(self) -> List[Dict[str, object]]:
+        """Every completed record, in digest order."""
+        return [self.get(scenario_id) for scenario_id in self.ids()]
+
+
+__all__ = ["SweepStore"]

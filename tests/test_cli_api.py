@@ -130,3 +130,134 @@ class TestReportRendering:
         assert "IP_A" in text
         assert "higher-mean" in text
         assert "unanimous" in text
+
+
+class TestSweepCLI:
+    def test_parser_accepts_sweep_options(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "--engine", "interpreted",
+                "sweep",
+                "--axis", "noise.sigma=0.5,1.0",
+                "--base", "parameters.k=8",
+                "--store", "somewhere",
+                "--workers", "2",
+            ]
+        )
+        assert args.command == "sweep"
+        assert args.engine == "interpreted"
+        assert args.axis == [("noise.sigma", [0.5, 1.0])]
+        assert args.base == [("parameters.k", 8)]
+        assert args.workers == 2
+
+    def test_parser_rejects_malformed_axis(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--axis", "noise.sigma"])
+        capsys.readouterr()
+
+    def test_engine_flag_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--engine", "warp", "campaign"])
+        capsys.readouterr()
+
+    def test_sweep_command_runs_and_resumes(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        argv = [
+            "sweep",
+            "--axis", "noise.sigma=0.5,1.0",
+            "--axis", "attack=none,strip",
+            "--base", "parameters.k=4",
+            "--base", "parameters.m=4",
+            "--base", "parameters.n1=32",
+            "--base", "parameters.n2=64",
+            "--store", store,
+            "--workers", "1",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "4 scenarios" in out
+        assert "executed 4" in out
+        assert "accuracy[lower-variance]" in out
+        assert "screening AUC" in out
+        # Second invocation is served entirely from the store.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "executed 0" in out
+        assert "reused 4" in out
+
+    def test_default_sweep_grid_is_at_least_24_scenarios(self):
+        from repro.cli import DEFAULT_SWEEP_AXES
+
+        total = 1
+        for values in DEFAULT_SWEEP_AXES.values():
+            total *= len(values)
+        assert total >= 24
+
+    def test_default_sweep_runs_and_store_serves_rerun(self, tmp_path, capsys):
+        # Acceptance: the stock `repro-watermark sweep` covers >= 24
+        # scenarios, and a rerun executes nothing.
+        store = str(tmp_path / "store")
+        argv = ["sweep", "--store", store, "--workers", "1"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "24 scenarios" in out
+        assert "executed 24" in out
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "executed 0" in out
+        assert "reused 24" in out
+
+    def test_random_only_sweep_has_no_default_grid(self, tmp_path, capsys):
+        assert main([
+            "sweep",
+            "--random", "noise.sigma=0.2:2.0:log",
+            "--samples", "2",
+            "--base", "parameters.k=4",
+            "--base", "parameters.m=4",
+            "--base", "parameters.n1=32",
+            "--base", "parameters.n2=64",
+            "--store", str(tmp_path / "store"),
+            "--workers", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 scenarios" in out
+
+    def test_random_axis_rejects_unknown_modifier(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--random", "noise.sigma=0.1:2.0:LOG"]
+            )
+        capsys.readouterr()
+
+    def test_duplicate_axis_option_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="twice"):
+            main([
+                "sweep",
+                "--axis", "noise.sigma=0.5",
+                "--axis", "noise.sigma=1.0,2.0",
+                "--store", str(tmp_path / "store"),
+            ])
+
+    def test_random_int_modifier_for_integer_fields(self, tmp_path, capsys):
+        assert main([
+            "sweep",
+            "--random", "parameters.n2=128:512:int",
+            "--samples", "2",
+            "--base", "parameters.k=4",
+            "--base", "parameters.m=4",
+            "--base", "parameters.n1=32",
+            "--store", str(tmp_path / "store"),
+            "--workers", "1",
+        ]) == 0
+        assert "2 scenarios" in capsys.readouterr().out
+
+    def test_invalid_axis_field_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="invalid sweep"):
+            main(["sweep", "--axis", "bogus=1",
+                  "--store", str(tmp_path / "store")])
+
+    def test_reversed_random_bounds_exit_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="invalid sweep"):
+            main(["sweep", "--random", "noise.sigma=2.0:0.5", "--samples", "2",
+                  "--store", str(tmp_path / "store")])

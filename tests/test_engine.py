@@ -319,3 +319,60 @@ class TestFleetActivitySharing:
         assert device.activity() is device.activity(64)
         assert device.resolve_cycles(None) == 64
         assert device.resolve_cycles(16) == 16
+
+
+class TestProgramSharing:
+    def test_identical_structures_share_one_program(self):
+        from repro.hdl.engine import (
+            clear_program_cache,
+            compile_netlist,
+            program_cache_size,
+        )
+
+        clear_program_cache()
+        first = compile_netlist(build_paper_ip("IP_B").netlist)
+        second = compile_netlist(build_paper_ip("IP_B").netlist)
+        trace_a = first.run(32)
+        trace_b = second.run(32)
+        assert program_cache_size() == 1
+        assert second.program_shared and not first.program_shared
+        assert second._run is first._run
+        assert np.array_equal(trace_a.matrix, trace_b.matrix)
+
+    def test_distinct_structures_get_distinct_programs(self):
+        from repro.hdl.engine import (
+            clear_program_cache,
+            compile_netlist,
+            program_cache_size,
+        )
+
+        clear_program_cache()
+        compile_netlist(build_paper_ip("IP_C").netlist).run(16)
+        compile_netlist(build_paper_ip("IP_D").netlist).run(16)
+        assert program_cache_size() == 2
+
+    def test_shared_program_keeps_netlists_independent(self):
+        from repro.hdl.engine import clear_program_cache, compile_netlist
+
+        clear_program_cache()
+        ip_one = build_paper_ip("IP_A")
+        ip_two = build_paper_ip("IP_A")
+        engine_one = compile_netlist(ip_one.netlist)
+        engine_two = compile_netlist(ip_two.netlist)
+        engine_one.run(10)
+        engine_two.run(3)
+        # Each netlist's write-back state reflects its own run length.
+        state_one = ip_one.state_register.q.value
+        state_two = ip_two.state_register.q.value
+        assert state_one == 10 % 256
+        assert state_two == 3 % 256
+
+    def test_fleet_compiles_each_structure_once(self):
+        from repro.hdl.engine import clear_program_cache, program_cache_size
+
+        clear_program_cache()
+        clear_fleet_activity_cache()
+        refds, duts = build_device_fleet(seed=2014)
+        for device in (*refds.values(), *duts.values()):
+            device.activity(64)
+        assert program_cache_size() <= len(refds)

@@ -1,0 +1,427 @@
+"""Tests for the scenario-sweep subsystem (spec, store, executor,
+aggregation) and the engine plumbing it rides on."""
+
+import hashlib
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import CampaignConfig, apply_config_overrides
+from repro.sweeps import (
+    ATTACKS,
+    GridAxis,
+    RandomAxis,
+    SweepSpec,
+    SweepStore,
+    expand_scenarios,
+    run_sweep,
+    scenario_config,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.sweeps.aggregate import (
+    accuracy_pivot,
+    render_sweep_summary,
+    roc_by_axis,
+    tidy_accuracy,
+)
+from repro.sweeps.executor import SweepReport
+
+#: Cheap correlation parameters shared by the executor tests: a full
+#: campaign at this point takes a few tens of milliseconds.
+QUICK = {
+    "parameters.k": 4,
+    "parameters.m": 4,
+    "parameters.n1": 32,
+    "parameters.n2": 64,
+}
+
+
+def quick_spec(name="quick", sigmas=(0.5, 1.0), attacks=("none",), seed=5):
+    return SweepSpec(
+        name=name,
+        grid=(
+            GridAxis("noise.sigma", tuple(sigmas)),
+            GridAxis("attack", tuple(attacks)),
+        ),
+        base=dict(QUICK),
+        seed=seed,
+    )
+
+
+def store_digests(root):
+    digests = {}
+    for entry in sorted(os.listdir(root)):
+        with open(os.path.join(root, entry), "rb") as handle:
+            digests[entry] = hashlib.sha256(handle.read()).hexdigest()
+    return digests
+
+
+class TestSweepSpec:
+    def test_grid_expansion_count_and_order(self):
+        spec = SweepSpec(
+            name="s",
+            grid=(
+                GridAxis("noise.sigma", (0.5, 1.0, 1.5)),
+                GridAxis("watermarked", (True, False)),
+            ),
+        )
+        assert spec.n_scenarios == 6
+        scenarios = expand_scenarios(spec)
+        assert len(scenarios) == 6
+        # Rightmost axis fastest.
+        assert [s.assignment["noise.sigma"] for s in scenarios[:2]] == [0.5, 0.5]
+        assert [s.assignment["watermarked"] for s in scenarios[:2]] == [True, False]
+
+    def test_unknown_field_rejected_at_construction(self):
+        with pytest.raises(KeyError, match="unknown sweep field"):
+            GridAxis("noise.sigmaa", (1.0,))
+        with pytest.raises(KeyError, match="unknown sweep field"):
+            SweepSpec(name="s", base={"nope": 1})
+
+    def test_axis_validation(self):
+        with pytest.raises(ValueError, match="no values"):
+            GridAxis("noise.sigma", ())
+        with pytest.raises(ValueError, match="duplicate"):
+            GridAxis("noise.sigma", (1.0, 1.0))
+        with pytest.raises(ValueError, match="swept twice"):
+            SweepSpec(
+                name="s",
+                grid=(
+                    GridAxis("noise.sigma", (1.0,)),
+                    GridAxis("noise.sigma", (2.0,)),
+                ),
+            )
+        with pytest.raises(ValueError, match="n_random"):
+            SweepSpec(name="s", random=(RandomAxis("noise.sigma", 0.1, 2.0),))
+
+    def test_scenario_ids_unique_and_reproducible(self):
+        spec = quick_spec(sigmas=(0.5, 1.0, 1.5), attacks=("none", "strip"))
+        first = [s.scenario_id for s in expand_scenarios(spec)]
+        second = [s.scenario_id for s in expand_scenarios(quick_spec(
+            sigmas=(0.5, 1.0, 1.5), attacks=("none", "strip")))]
+        assert first == second
+        assert len(set(first)) == len(first)
+
+    def test_derived_seeds_depend_on_spec_seed_not_name(self):
+        base = expand_scenarios(quick_spec(seed=5))[0]
+        renamed = expand_scenarios(quick_spec(name="other", seed=5))[0]
+        reseeded = expand_scenarios(quick_spec(seed=6))[0]
+        assert base.overrides == renamed.overrides
+        assert base.overrides["measurement_seed"] != reseeded.overrides[
+            "measurement_seed"
+        ]
+
+    def test_explicit_seed_not_overwritten(self):
+        spec = SweepSpec(
+            name="s",
+            grid=(GridAxis("noise.sigma", (1.0,)),),
+            base={"measurement_seed": 123},
+        )
+        scenario = expand_scenarios(spec)[0]
+        assert scenario.overrides["measurement_seed"] == 123
+
+    def test_random_axes_deterministic_per_seed(self):
+        def draws(seed):
+            spec = SweepSpec(
+                name="r",
+                random=(RandomAxis("noise.sigma", 0.2, 2.0, log=True),),
+                n_random=5,
+                seed=seed,
+            )
+            return [s.assignment["noise.sigma"] for s in expand_scenarios(spec)]
+
+        assert draws(1) == draws(1)
+        assert draws(1) != draws(2)
+        assert all(0.2 <= v <= 2.0 for v in draws(1))
+
+    def test_random_integer_axis(self):
+        spec = SweepSpec(
+            name="r",
+            random=(RandomAxis("parameters.n2", 200, 2000, integer=True),),
+            n_random=4,
+            base={"parameters.k": 4, "parameters.m": 4, "parameters.n1": 32},
+            seed=3,
+        )
+        values = [s.assignment["parameters.n2"] for s in expand_scenarios(spec)]
+        assert all(isinstance(v, int) for v in values)
+
+    def test_scenario_config_applies_overrides(self):
+        spec = SweepSpec(
+            name="s",
+            grid=(GridAxis("noise.sigma", (1.7,)), GridAxis("attack", ("strip",))),
+            base={"parameters.n2": 2000, "engine": "interpreted"},
+        )
+        scenario = expand_scenarios(spec)[0]
+        config = scenario_config(scenario)
+        assert config.noise.sigma == 1.7
+        assert config.parameters.n2 == 2000
+        assert config.engine == "interpreted"
+        assert scenario.attack == "strip"
+
+    def test_spec_dict_round_trip(self):
+        spec = SweepSpec(
+            name="rt",
+            grid=(GridAxis("noise.sigma", (0.5, 1.5)),),
+            random=(RandomAxis("variation.component_sigma", 0.01, 0.1),),
+            n_random=3,
+            base={"watermarked": False},
+            seed=11,
+        )
+        clone = spec_from_dict(json.loads(json.dumps(spec_to_dict(spec))))
+        assert clone == spec
+        assert [s.scenario_id for s in expand_scenarios(clone)] == [
+            s.scenario_id for s in expand_scenarios(spec)
+        ]
+
+
+class TestConfigOverrides:
+    def test_nested_and_top_level(self):
+        config = apply_config_overrides(
+            CampaignConfig(),
+            {"noise.sigma": 0.3, "watermarked": False, "adc.bits": 8},
+        )
+        assert config.noise.sigma == 0.3
+        assert config.watermarked is False
+        assert config.adc.bits == 8
+
+    def test_nullable_nested_field(self):
+        config = apply_config_overrides(
+            CampaignConfig(), {"adc": None, "variation": None}
+        )
+        assert config.adc is None and config.variation is None
+
+    def test_unknown_paths_raise(self):
+        with pytest.raises(KeyError):
+            apply_config_overrides(CampaignConfig(), {"noise.sugma": 1.0})
+        with pytest.raises(KeyError):
+            apply_config_overrides(CampaignConfig(), {"watermarked.x": 1})
+        with pytest.raises(KeyError):
+            apply_config_overrides(CampaignConfig(), {"noise.sigma.deep": 1})
+
+    def test_conflicting_whole_and_sub_override(self):
+        with pytest.raises(KeyError, match="cannot override both"):
+            apply_config_overrides(
+                CampaignConfig(), {"adc": None, "adc.bits": 8}
+            )
+
+
+class TestSweepStore:
+    def test_round_trip(self, tmp_path):
+        store = SweepStore(str(tmp_path / "store"))
+        record = {"scenario_id": "abc", "metrics": {"accuracy": {"x": 1.0}}}
+        arrays = {"C/IP_A/DUT#1": np.arange(4.0)}
+        assert not store.has("abc")
+        store.put("abc", record, arrays)
+        assert store.has("abc") and "abc" in store
+        assert store.get("abc") == record
+        np.testing.assert_array_equal(
+            store.get_arrays("abc")["C/IP_A/DUT#1"], np.arange(4.0)
+        )
+        assert store.ids() == ["abc"]
+        assert len(store) == 1
+
+    def test_no_temp_residue_and_deterministic_bytes(self, tmp_path):
+        a, b = SweepStore(str(tmp_path / "a")), SweepStore(str(tmp_path / "b"))
+        record = {"scenario_id": "abc", "value": 1.25}
+        arrays = {"x": np.ones(3)}
+        a.put("abc", record, arrays)
+        b.put("abc", record, arrays)
+        assert store_digests(a.root) == store_digests(b.root)
+        assert not [f for f in os.listdir(a.root) if f.startswith(".tmp-")]
+
+
+class TestRunSweep:
+    def test_executes_then_resumes(self, tmp_path):
+        spec = quick_spec()
+        store = SweepStore(str(tmp_path / "store"))
+        report = run_sweep(spec, store, n_workers=1)
+        assert isinstance(report, SweepReport)
+        assert report.n_scenarios == 2
+        assert report.n_executed == 2 and report.n_cached == 0
+        again = run_sweep(spec, store, n_workers=1)
+        assert again.n_executed == 0 and again.n_cached == 2
+
+    def test_interrupted_sweep_reruns_only_missing(self, tmp_path):
+        spec = quick_spec(sigmas=(0.5, 1.0, 1.5))
+        store = SweepStore(str(tmp_path / "store"))
+        run_sweep(spec, store, n_workers=1)
+        before = store_digests(store.root)
+        # Simulate a kill mid-sweep: one scenario's result never landed.
+        victim = expand_scenarios(spec)[1].scenario_id
+        os.unlink(store.record_path(victim))
+        os.unlink(store.arrays_path(victim))
+        report = run_sweep(spec, store, n_workers=1)
+        assert report.executed_ids == [victim]
+        assert report.n_cached == 2
+        # The re-executed scenario reproduces its exact bytes.
+        assert store_digests(store.root) == before
+
+    def test_extending_a_sweep_reuses_overlap(self, tmp_path):
+        store = SweepStore(str(tmp_path / "store"))
+        run_sweep(quick_spec(sigmas=(0.5, 1.0)), store, n_workers=1)
+        extended = quick_spec(sigmas=(0.5, 1.0, 1.5, 2.0))
+        report = run_sweep(extended, store, n_workers=1)
+        assert report.n_cached == 2 and report.n_executed == 2
+
+    def test_failure_keeps_completed_scenarios(self, tmp_path):
+        # n1 = 2 < k = 4 violates expression (1) at campaign time, so
+        # the last scenario dies; the first two must survive on disk.
+        spec = SweepSpec(
+            name="fail",
+            grid=(GridAxis("parameters.n1", (32, 48, 2)),),
+            base={k: v for k, v in QUICK.items() if k != "parameters.n1"},
+        )
+        store = SweepStore(str(tmp_path / "store"))
+        with pytest.raises(Exception):
+            run_sweep(spec, store, n_workers=1)
+        assert len(store) == 2
+        resumed_ids = {s.scenario_id for s in expand_scenarios(spec)[:2]}
+        assert set(store.ids()) == resumed_ids
+
+    def test_progress_callback(self, tmp_path):
+        spec = quick_spec()
+        store = SweepStore(str(tmp_path / "store"))
+        seen = []
+        run_sweep(spec, store, progress=lambda sid, ran: seen.append((sid, ran)))
+        assert sorted(sid for sid, ran in seen if ran) == sorted(store.ids())
+        seen.clear()
+        run_sweep(spec, store, progress=lambda sid, ran: seen.append((sid, ran)))
+        assert all(not ran for _, ran in seen) and len(seen) == 2
+
+    def test_rejects_bad_worker_count(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_sweep(quick_spec(), SweepStore(str(tmp_path)), n_workers=0)
+
+
+class TestWorkerDeterminism:
+    def test_four_workers_bit_identical_to_one(self, tmp_path):
+        spec = quick_spec(sigmas=(0.4, 0.8, 1.2, 1.6), attacks=("none", "strip"))
+        serial = SweepStore(str(tmp_path / "serial"))
+        pooled = SweepStore(str(tmp_path / "pooled"))
+        report1 = run_sweep(spec, serial, n_workers=1)
+        report4 = run_sweep(spec, pooled, n_workers=4)
+        assert report1.n_executed == report4.n_executed == 8
+        assert report1.executed_ids == report4.executed_ids
+        assert store_digests(serial.root) == store_digests(pooled.root)
+
+
+class TestAttacks:
+    def test_attack_names(self):
+        assert set(ATTACKS) == {"none", "strip", "strip_pads"}
+
+    def test_unknown_attack_fails_fast(self):
+        from repro.sweeps.scenario import apply_attack
+
+        with pytest.raises(KeyError, match="unknown attack"):
+            apply_attack({}, "melt")
+
+    def test_strip_attack_defeats_identification(self, tmp_path):
+        # At low noise the genuine fleet identifies perfectly; a fully
+        # stripped DUT fleet must not (the keyed signature is gone).
+        store = SweepStore(str(tmp_path / "store"))
+        spec = quick_spec(sigmas=(0.25,), attacks=("none", "strip"))
+        run_sweep(spec, store, n_workers=1)
+        rows = tidy_accuracy(store, expand_scenarios(spec))
+        by_attack = {
+            row["attack"]: row["accuracy"]
+            for row in rows
+            if row["distinguisher"] == "higher-mean"
+        }
+        assert by_attack["none"] == 1.0
+        assert by_attack["strip"] < 1.0
+
+
+class TestAggregation:
+    @pytest.fixture(scope="class")
+    def populated(self, tmp_path_factory):
+        spec = quick_spec(sigmas=(0.5, 1.0), attacks=("none", "strip"), seed=9)
+        store = SweepStore(str(tmp_path_factory.mktemp("agg")))
+        run_sweep(spec, store, n_workers=1)
+        return spec, store
+
+    def test_tidy_rows_carry_axes(self, populated):
+        spec, store = populated
+        rows = tidy_accuracy(store, expand_scenarios(spec))
+        assert len(rows) == 4 * 2  # scenarios x distinguishers
+        for row in rows:
+            assert {"scenario_id", "noise.sigma", "attack", "distinguisher",
+                    "accuracy", "mean_confidence"} <= set(row)
+            assert 0.0 <= row["accuracy"] <= 1.0
+
+    def test_restriction_to_scenarios(self, populated):
+        spec, store = populated
+        subset = expand_scenarios(quick_spec(sigmas=(0.5,), attacks=("none",),
+                                             seed=9))
+        rows = tidy_accuracy(store, subset)
+        assert len(rows) == 2
+
+    def test_accuracy_pivot_renders(self, populated):
+        spec, store = populated
+        rows = tidy_accuracy(store, expand_scenarios(spec))
+        table = accuracy_pivot(rows, "noise.sigma", "attack")
+        assert "noise.sigma" in table and "strip" in table
+
+    def test_roc_by_axis(self, populated):
+        spec, store = populated
+        rows = roc_by_axis(store, "noise.sigma", expand_scenarios(spec))
+        assert [row["noise.sigma"] for row in rows] == [0.5, 1.0]
+        for row in rows:
+            assert 0.0 <= row["auc"] <= 1.0
+            assert row["n_genuine"] == 8 and row["n_counterfeit"] == 24
+
+    def test_summary_renders(self, populated):
+        spec, store = populated
+        text = render_sweep_summary(store, expand_scenarios(spec))
+        assert "accuracy[lower-variance]" in text and "screening AUC" in text
+
+    def test_empty_summary(self, tmp_path):
+        store = SweepStore(str(tmp_path / "empty"))
+        assert "no results" in render_sweep_summary(store)
+
+
+class TestEnginePlumbing:
+    def test_engine_reaches_devices(self):
+        from repro.experiments.runner import manufacture_fleet
+
+        refds, duts = manufacture_fleet(CampaignConfig(engine="interpreted"))
+        assert all(d.engine == "interpreted" for d in refds.values())
+        assert all(d.engine == "interpreted" for d in duts.values())
+
+    def test_engines_agree_on_a_scenario(self, tmp_path):
+        # The engine axis must not change results: the compiled engine
+        # is bit-identical to the oracle, so every stored byte except
+        # the engine override itself matches.
+        from repro.sweeps.scenario import run_scenario
+
+        def result(engine):
+            spec = SweepSpec(
+                name="e",
+                grid=(GridAxis("noise.sigma", (0.5,)),),
+                base=dict(QUICK, engine=engine),
+            )
+            payload = run_scenario(expand_scenarios(spec)[0])
+            return payload["record"]["metrics"], payload["arrays"]
+
+        compiled_metrics, compiled_arrays = result("compiled")
+        interpreted_metrics, interpreted_arrays = result("interpreted")
+        assert compiled_metrics == interpreted_metrics
+        for key in compiled_arrays:
+            np.testing.assert_array_equal(
+                compiled_arrays[key], interpreted_arrays[key]
+            )
+
+
+class TestRocOrdering:
+    def test_numeric_axis_values_sort_numerically(self, tmp_path):
+        spec = SweepSpec(
+            name="order",
+            grid=(GridAxis("parameters.n2", (1024, 256, 512)),),
+            base={k: v for k, v in QUICK.items() if k != "parameters.n2"},
+        )
+        store = SweepStore(str(tmp_path / "store"))
+        run_sweep(spec, store, n_workers=1)
+        rows = roc_by_axis(store, "parameters.n2", expand_scenarios(spec))
+        assert [row["parameters.n2"] for row in rows] == [256, 512, 1024]

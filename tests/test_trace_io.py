@@ -149,3 +149,109 @@ class TestCounterBuilders:
         trace = Simulator(netlist).run(16)
         series = trace.component_series("ctr_reg")
         assert set(series) == {1.0}
+
+
+class TestCampaignManifest:
+    def _sets(self, rng):
+        return {
+            "DUT#1": TraceSet("DUT#1", rng.normal(size=(4, 8))),
+            "IP_A": TraceSet("IP_A", rng.normal(size=(6, 8))),
+        }
+
+    def test_metadata_round_trip(self, rng, tmp_path):
+        from repro.acquisition.io import load_campaign_metadata
+
+        directory = str(tmp_path / "campaign")
+        metadata = {"sigma": 1.5, "operator": "bench-7", "n_cycles": 256}
+        save_campaign(self._sets(rng), directory, metadata=metadata)
+        assert load_campaign_metadata(directory) == metadata
+        # Loading validates against the manifest and still succeeds.
+        loaded = load_campaign(directory, names=["DUT#1", "IP_A"])
+        assert list(loaded) == ["DUT#1", "IP_A"]
+
+    def test_metadata_defaults_empty(self, rng, tmp_path):
+        from repro.acquisition.io import load_campaign_metadata
+
+        directory = str(tmp_path / "campaign")
+        save_campaign(self._sets(rng), directory)
+        assert load_campaign_metadata(directory) == {}
+        # Directories without a manifest (pre-manifest campaigns) load too.
+        bare = str(tmp_path / "bare")
+        os.makedirs(bare)
+        save_trace_set(self._sets(rng)["DUT#1"], os.path.join(bare, "d.npz"))
+        assert load_campaign_metadata(bare) == {}
+        assert list(load_campaign(bare)) == ["DUT#1"]
+
+    def test_validation_catches_missing_device(self, rng, tmp_path):
+        directory = str(tmp_path / "campaign")
+        paths = save_campaign(self._sets(rng), directory)
+        os.unlink(paths["IP_A"])
+        with pytest.raises(ValueError, match="IP_A"):
+            load_campaign(directory)
+
+    def test_validation_catches_shape_mismatch(self, rng, tmp_path):
+        directory = str(tmp_path / "campaign")
+        paths = save_campaign(self._sets(rng), directory)
+        save_trace_set(TraceSet("DUT#1", rng.normal(size=(2, 8))), paths["DUT#1"])
+        with pytest.raises(ValueError, match="manifest declares shape"):
+            load_campaign(directory)
+
+    def test_load_campaign_names_none_is_valid(self, rng, tmp_path):
+        # Regression: the annotation used to be a bare Iterable[str]
+        # with a None default; None must remain a supported value.
+        directory = str(tmp_path / "campaign")
+        save_campaign(self._sets(rng), directory)
+        assert len(load_campaign(directory, names=None)) == 2
+        with pytest.raises(KeyError, match="missing devices"):
+            load_campaign(directory, names=["DUT#9"])
+
+
+class TestArrayBundles:
+    def test_round_trip(self, rng, tmp_path):
+        from repro.acquisition.io import load_array_bundle, save_array_bundle
+
+        path = str(tmp_path / "bundle.npz")
+        arrays = {"C/IP_A/DUT#1": rng.normal(size=5), "counts": np.arange(3)}
+        save_array_bundle(path, arrays, metadata={"scenario": "x"})
+        loaded, metadata = load_array_bundle(path)
+        assert metadata == {"scenario": "x"}
+        assert set(loaded) == set(arrays)
+        for name in arrays:
+            np.testing.assert_array_equal(loaded[name], arrays[name])
+
+    def test_bytes_are_deterministic(self, rng, tmp_path):
+        from repro.acquisition.io import save_array_bundle
+
+        arrays = {"b": rng.normal(size=7), "a": np.ones((2, 2))}
+        first = str(tmp_path / "first.npz")
+        second = str(tmp_path / "second.npz")
+        save_array_bundle(first, arrays, metadata={"k": 1})
+        save_array_bundle(second, dict(reversed(arrays.items())), metadata={"k": 1})
+        with open(first, "rb") as f1, open(second, "rb") as f2:
+            assert f1.read() == f2.read()
+
+    def test_reserved_name_rejected(self, tmp_path):
+        from repro.acquisition.io import save_array_bundle
+
+        with pytest.raises(ValueError, match="reserved"):
+            save_array_bundle(
+                str(tmp_path / "x.npz"), {"__bundle_metadata__": np.ones(1)}
+            )
+
+    def test_aliased_save_keys_still_load(self, rng, tmp_path):
+        # The manifest must describe archive-internal device names, so
+        # campaigns saved under aliased dict keys stay loadable.
+        directory = str(tmp_path / "campaign")
+        save_campaign(
+            {"alias": TraceSet("DUT#1", rng.normal(size=(4, 8)))}, directory
+        )
+        loaded = load_campaign(directory)
+        assert list(loaded) == ["DUT#1"]
+
+    def test_duplicate_device_names_rejected_at_save(self, rng, tmp_path):
+        sets = {
+            "run_a": TraceSet("DUT#1", rng.normal(size=(4, 8))),
+            "run_b": TraceSet("DUT#1", rng.normal(size=(6, 8))),
+        }
+        with pytest.raises(ValueError, match="one trace set per device"):
+            save_campaign(sets, str(tmp_path / "campaign"))
