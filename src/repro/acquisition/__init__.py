@@ -1,7 +1,12 @@
 """Acquisition layer: devices, oscilloscope, measurement campaigns."""
 
 from repro.acquisition.alignment import align_traces, alignment_quality, estimate_shift
-from repro.acquisition.bench import MeasurementBench, acquire_traces, make_rng
+from repro.acquisition.bench import (
+    MeasurementBench,
+    acquire_traces,
+    derive_acquisition_seed,
+    make_rng,
+)
 from repro.acquisition.io import (
     load_campaign,
     load_trace_set,
@@ -26,6 +31,7 @@ __all__ = [
     "ADCConfig",
     "MeasurementBench",
     "acquire_traces",
+    "derive_acquisition_seed",
     "make_rng",
     "save_trace_set",
     "load_trace_set",

@@ -127,12 +127,19 @@ class Device:
         return trace
 
     def deterministic_waveform(self, n_cycles: Optional[int] = None) -> np.ndarray:
-        """The noise-free sampled power waveform of this die (cached)."""
+        """The noise-free sampled power waveform of this die (cached).
+
+        The cached array is frozen (``writeable = False``): devices are
+        shared across campaigns and scenarios by the artifact cache
+        (:mod:`repro.experiments.artifacts`), so the rendered waveform
+        must behave as an immutable value.
+        """
         cycles = self.resolve_cycles(n_cycles)
         if cycles not in self._waveform_cache:
             cycle_power = self.effective_model.cycle_power(self.activity(cycles))
             samples = render_waveform(cycle_power, self.waveform)
             samples = self.variation.gain * samples + self.variation.offset
+            samples.flags.writeable = False
             self._waveform_cache[cycles] = samples
         return self._waveform_cache[cycles]
 

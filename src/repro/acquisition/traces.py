@@ -13,7 +13,14 @@ import numpy as np
 
 
 class TraceSet:
-    """An ordered set of equal-length power traces from one device."""
+    """An ordered set of equal-length power traces from one device.
+
+    The matrix may be *read-only* (``writeable = False``): bench and
+    artifact caches serve zero-copy frozen views, so consumers must
+    not mutate ``matrix`` in place — derive new arrays instead (as
+    :meth:`subset`, :mod:`repro.acquisition.faults` and
+    :mod:`repro.acquisition.alignment` already do).
+    """
 
     def __init__(self, device_name: str, matrix: np.ndarray):
         matrix = np.asarray(matrix, dtype=float)

@@ -1,6 +1,13 @@
 """Adversarial analysis of the watermark scheme: removal, key
 forgery/recovery, and masking-noise attacks, with defender
-counter-moves."""
+counter-moves.
+
+:data:`FLEET_TRANSFORMS` is the registry of *named* DUT netlist
+transforms — the vocabulary of the sweep ``attack`` axis and of the
+artifact layer's ``fleet_tag`` — so that every consumer (scenario
+runner, campaign runner, artifact cache) resolves the same name to the
+same tampering.
+"""
 
 from repro.attacks.forgery import (
     KeySearchResult,
@@ -14,12 +21,16 @@ from repro.attacks.masking import (
     masking_sweep,
 )
 from repro.attacks.removal import (
+    FLEET_TRANSFORMS,
     RemovalReport,
+    apply_fleet_transform,
     strip_output_pads_only,
     strip_watermark,
 )
 
 __all__ = [
+    "FLEET_TRANSFORMS",
+    "apply_fleet_transform",
     "RemovalReport",
     "strip_watermark",
     "strip_output_pads_only",

@@ -102,3 +102,35 @@ def strip_output_pads_only(ip: WatermarkedIP, prefix: str = "wm") -> RemovalRepo
     all_wm = _leakage_component_names(netlist, prefix)
     keep = {name for name in all_wm if not name.endswith("_pads")}
     return strip_watermark(ip, prefix=prefix, keep=keep)
+
+
+#: Named DUT netlist transforms — the vocabulary of the sweep
+#: ``attack`` axis and of the artifact layer's ``fleet_tag``, so every
+#: consumer (scenario runner, campaign runner, artifact cache)
+#: resolves the same name to the same tampering.  ``None`` means no
+#: tampering; the callables mutate a
+#: :class:`~repro.fsm.watermark.WatermarkedIP` in place.
+FLEET_TRANSFORMS = {
+    "none": None,
+    "strip": strip_watermark,
+    "strip_pads": strip_output_pads_only,
+}
+
+
+def apply_fleet_transform(duts, name: str) -> None:
+    """Apply one named transform to every DUT's IP, in place.
+
+    ``duts`` maps device names to objects exposing an ``ip`` attribute
+    (see :class:`~repro.acquisition.device.Device`).  Unknown names
+    raise ``KeyError`` so a typo fails loudly.
+    """
+    try:
+        transform = FLEET_TRANSFORMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown attack {name!r}; choose from {sorted(FLEET_TRANSFORMS)}"
+        ) from None
+    if transform is None:
+        return
+    for device in duts.values():
+        transform(device.ip)

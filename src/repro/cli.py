@@ -22,6 +22,11 @@ pairs over campaign-config paths (``noise.sigma``, ``parameters.n2``,
 ``adc.bits``, ``watermarked``, ``attack``, ...); values are parsed as
 JSON scalars.  Without ``--axis`` a default 24-scenario surface (noise
 x trace budget x attack) is swept at a reduced, fast parameter point.
+``--share-artifacts`` reuses manufactured fleets and acquired trace
+matrices across scenarios whose fleet/measurement tiers agree
+(byte-identical results, order-of-magnitude faster analysis-axis
+grids); ``--artifact-cache DIR`` adds an on-disk tier shared by all
+workers and runs.
 """
 
 from __future__ import annotations
@@ -264,13 +269,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     scenarios = expand_scenarios(spec)
     store = SweepStore(args.store)
     workers = args.workers if args.workers else default_workers()
+    artifacts = None
+    if args.share_artifacts or args.artifact_cache:
+        from repro.experiments.artifacts import ArtifactOptions
+
+        artifacts = ArtifactOptions(root=args.artifact_cache)
     print(
         f"sweep {spec.name!r}: {len(scenarios)} scenarios "
         f"({len(spec.grid)} grid axes"
         + (f", {len(spec.random)} random axes x {spec.n_random}" if spec.random else "")
         + f"), store {store.root}, {workers} worker(s)"
+        + (
+            f", shared artifacts"
+            + (f" (disk tier: {args.artifact_cache})" if args.artifact_cache else "")
+            if artifacts is not None
+            else ""
+        )
     )
-    report = run_sweep(spec, store, n_workers=workers)
+    report = run_sweep(spec, store, n_workers=workers, artifacts=artifacts)
     print(
         f"executed {report.n_executed}, "
         f"reused {report.n_cached} already in store"
@@ -357,6 +373,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="worker processes (0 = half the machine's cores)",
+    )
+    sweep.add_argument(
+        "--share-artifacts",
+        action="store_true",
+        help="share manufactured fleets and acquired trace matrices "
+        "across scenarios that agree on the fleet/measurement tiers "
+        "(byte-identical results; pin fleet_seed/measurement_seed via "
+        "--base to unlock sharing on analysis-axis grids)",
+    )
+    sweep.add_argument(
+        "--artifact-cache",
+        metavar="DIR",
+        default=None,
+        help="on-disk artifact tier shared by all workers and runs "
+        "(implies --share-artifacts)",
     )
     sweep.add_argument("--name", default="sweep", help="sweep name")
     sweep.add_argument(

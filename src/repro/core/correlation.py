@@ -65,6 +65,32 @@ def pearson_many(reference: np.ndarray, traces: np.ndarray) -> np.ndarray:
     return np.clip(values, -1.0, 1.0)
 
 
+def pearson_rows(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Pearson of matched rows: ``[pearson(x[i], y[i]) for i]``.
+
+    Vectorised pairwise-row correlation between two ``(m, l)``
+    matrices; the denominator is computed as ``sqrt(sum_x * sum_y)``
+    exactly like :func:`pearson`, so each entry is bit-identical to
+    the scalar call.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.ndim != 2 or y.ndim != 2:
+        raise ValueError("pearson_rows expects 2-D (m, l) matrices")
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    x_centered = x - x.mean(axis=1, keepdims=True)
+    y_centered = y - y.mean(axis=1, keepdims=True)
+    denominator = np.sqrt(
+        np.sum(x_centered * x_centered, axis=1)
+        * np.sum(y_centered * y_centered, axis=1)
+    )
+    if np.any(denominator == 0):
+        raise DegenerateTraceError("a trace has zero variance")
+    values = np.sum(x_centered * y_centered, axis=1) / denominator
+    return np.clip(values, -1.0, 1.0)
+
+
 def fisher_z(rho: np.ndarray) -> np.ndarray:
     """Fisher z-transform ``atanh(rho)`` (variance-stabilising).
 

@@ -23,7 +23,8 @@ import numpy as np
 from repro.acquisition.bench import RngLike, make_rng
 from repro.acquisition.traces import TraceSet
 from repro.core.averaging import k_averaged_set, k_averaged_trace
-from repro.core.correlation import pearson, pearson_many
+from repro.core.correlation import pearson_many, pearson_rows
+from repro.core.selection import uniform_distinct_indices
 
 
 class ParameterError(Exception):
@@ -159,12 +160,22 @@ class CorrelationProcess:
             coefficients = pearson_many(a_ref, a_dut)
         else:
             # E8 ablation: a fresh reference per coefficient, which
-            # injects RefD selection noise into the C set.
-            coefficients = np.empty(p.m)
+            # injects RefD selection noise into the C set.  The index
+            # draws stay interleaved (ref, dut, ref, dut, ...) to
+            # preserve the historical RNG stream; the averaging and the
+            # m correlations are then batched like the main path.
+            ref_indices = np.empty((p.m, p.k), dtype=np.intp)
+            dut_indices = np.empty((p.m, p.k), dtype=np.intp)
             for i in range(p.m):
-                a_ref = k_averaged_trace(t_ref, p.k, generator)
-                a_dut_one = k_averaged_trace(t_dut, p.k, generator)
-                coefficients[i] = pearson(a_ref, a_dut_one)
+                ref_indices[i] = uniform_distinct_indices(
+                    t_ref.n_traces, p.k, generator
+                )
+                dut_indices[i] = uniform_distinct_indices(
+                    t_dut.n_traces, p.k, generator
+                )
+            a_refs = t_ref.matrix[ref_indices].mean(axis=1)
+            a_duts = t_dut.matrix[dut_indices].mean(axis=1)
+            coefficients = pearson_rows(a_refs, a_duts)
 
         return CorrelationResult(
             ref_name=t_ref.device_name,

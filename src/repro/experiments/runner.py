@@ -16,6 +16,8 @@ import numpy as np
 
 from repro.acquisition.bench import MeasurementBench
 from repro.acquisition.oscilloscope import ADCConfig, Oscilloscope
+from repro.attacks.removal import apply_fleet_transform
+from repro.experiments.artifacts import ArtifactCache, measurement_base_key
 from repro.core.distinguishers import Distinguisher, PAPER_DISTINGUISHERS
 from repro.core.process import ProcessParameters
 from repro.core.verification import VerificationReport, WatermarkVerifier
@@ -44,6 +46,25 @@ class CampaignConfig:
     device: ``"auto"`` (compiled with interpreted fallback),
     ``"compiled"`` or ``"interpreted"`` — see
     :class:`~repro.hdl.simulator.Simulator`.
+
+    The fields split into three artifact tiers, each with a derived
+    cache key (see :mod:`repro.experiments.artifacts`):
+
+    * **fleet** — ``power_model``, ``variation``, ``waveform``,
+      ``fleet_seed``, ``watermarked``, ``engine`` determine the
+      manufactured silicon (:func:`~repro.experiments.artifacts.fleet_key`);
+    * **measurement** — plus ``noise``, ``adc``, ``measurement_seed``
+      and the ``parameters.n1``/``n2`` trace ceilings, they determine
+      the acquired trace matrices
+      (:func:`~repro.experiments.artifacts.measurement_key`);
+    * **analysis** — plus ``parameters.k``/``m``, ``analysis_seed``,
+      ``single_reference`` and ``distinguishers``, they determine the
+      full campaign outcome
+      (:func:`~repro.experiments.artifacts.analysis_key`).
+
+    Campaigns sharing a prefix of those tiers can share the matching
+    artifacts byte-identically, which is what makes analysis-side
+    scenario sweeps an order of magnitude cheaper.
     """
 
     parameters: ProcessParameters = field(default_factory=ProcessParameters)
@@ -189,6 +210,8 @@ def apply_config_overrides(
 def run_campaign(
     config: Optional[CampaignConfig] = None,
     fleet=None,
+    artifacts: Optional[ArtifactCache] = None,
+    fleet_tag: str = "none",
 ) -> CampaignOutcome:
     """Run the paper's full 4x4 verification campaign.
 
@@ -196,14 +219,58 @@ def run_campaign(
     devices (e.g. from :func:`manufacture_fleet`), so repeated campaigns
     on the same chips reuse their cached deterministic waveforms instead
     of rebuilding and re-simulating the whole fleet.
+
+    Acquisition is *keyed*: every device's noise stream is seeded from
+    the config's measurement base key and the device name (see
+    :mod:`repro.experiments.artifacts`), never from a shared sequential
+    RNG, so trace sets do not depend on acquisition order and can be
+    shared across campaigns.  Passing an ``artifacts`` cache reuses
+    fleets and trace matrices across calls byte-identically to this
+    unshared path; ``fleet_tag`` names the DUT transform the fleet
+    carries (the sweep ``attack`` axis) so tampered artifacts never
+    alias pristine ones.
     """
     cfg = config if config is not None else CampaignConfig()
-    refds, duts = fleet if fleet is not None else manufacture_fleet(cfg)
-    bench = MeasurementBench(
-        Oscilloscope(cfg.noise, cfg.adc), seed=cfg.measurement_seed
-    )
+    if fleet is not None:
+        if artifacts is not None:
+            # The trace cache keys on (config, fleet_tag) alone, so an
+            # arbitrary caller-supplied fleet could poison it (or be
+            # served traces of a different fleet).  Only a fleet that
+            # came out of this cache for the same keys is provably
+            # consistent.
+            try:
+                cached = artifacts.fleet(cfg, fleet_tag)
+            except KeyError:
+                cached = None
+            if cached is not fleet:
+                raise ValueError(
+                    "run_campaign: an explicit fleet= can only be combined "
+                    "with artifacts= when it was obtained from "
+                    "artifacts.fleet(config, fleet_tag); pass fleet_tag "
+                    "and let run_campaign manufacture it instead"
+                )
+        refds, duts = fleet
+    else:
+        def build_fleet():
+            built_refds, built_duts = manufacture_fleet(cfg)
+            apply_fleet_transform(built_duts, fleet_tag)
+            return built_refds, built_duts
+
+        if artifacts is not None:
+            refds, duts = artifacts.fleet(cfg, fleet_tag, build_fleet)
+        else:
+            refds, duts = build_fleet()
     p = cfg.parameters
-    t_duts = {name: bench.measure(duts[name], p.n2) for name in DUT_ORDER}
+    if artifacts is not None:
+        def measure(device, n_traces):
+            return artifacts.traces(cfg, device, n_traces, fleet_tag=fleet_tag)
+    else:
+        bench = MeasurementBench(
+            Oscilloscope(cfg.noise, cfg.adc),
+            key=measurement_base_key(cfg, fleet_tag),
+        )
+        measure = bench.measure
+    t_duts = {name: measure(duts[name], p.n2) for name in DUT_ORDER}
     verifier = WatermarkVerifier(
         parameters=p,
         distinguishers=cfg.distinguishers,
@@ -212,7 +279,7 @@ def run_campaign(
     analysis_rng = np.random.default_rng(cfg.analysis_seed)
     reports: Dict[str, VerificationReport] = {}
     for ref_name in REF_ORDER:
-        t_ref = bench.measure(refds[ref_name], p.n1)
+        t_ref = measure(refds[ref_name], p.n1)
         reports[ref_name] = verifier.identify(t_ref, t_duts, rng=analysis_rng)
     return CampaignOutcome(config=cfg, reports=reports)
 
@@ -221,19 +288,26 @@ def repeated_accuracy(
     base_config: Optional[CampaignConfig] = None,
     n_repeats: int = 5,
     distinguisher_names: Sequence[str] = ("higher-mean", "lower-variance"),
+    artifacts: Optional[ArtifactCache] = None,
 ) -> Dict[str, float]:
     """Identification accuracy over repeated campaigns (E10).
 
     Re-seeds measurement and analysis per repeat while keeping the same
     manufactured fleet, i.e. repeats the lab session on the same chips:
-    the devices are built once and passed to every
-    :func:`run_campaign`, so their deterministic waveforms are
-    simulated once for the whole study.
+    the devices are built once (through ``artifacts`` when given, so a
+    whole study — or several studies on the same base config — shares
+    one fleet and its simulated waveforms) and passed to every
+    :func:`run_campaign`.  Each repeat's measurement seed differs, so
+    trace acquisition is per-repeat by design; only fleet-tier work is
+    shared.
     """
     if n_repeats <= 0:
         raise ValueError("n_repeats must be positive")
     cfg = base_config if base_config is not None else CampaignConfig()
-    fleet = manufacture_fleet(cfg)
+    if artifacts is not None:
+        fleet = artifacts.fleet(cfg, "none", lambda: manufacture_fleet(cfg))
+    else:
+        fleet = manufacture_fleet(cfg)
     totals = {name: 0.0 for name in distinguisher_names}
     for repeat in range(n_repeats):
         repeat_cfg = replace(
@@ -241,7 +315,7 @@ def repeated_accuracy(
             measurement_seed=cfg.measurement_seed + 1000 * (repeat + 1),
             analysis_seed=cfg.analysis_seed + 1000 * (repeat + 1),
         )
-        outcome = run_campaign(repeat_cfg, fleet=fleet)
+        outcome = run_campaign(repeat_cfg, fleet=fleet, artifacts=artifacts)
         for name in distinguisher_names:
             totals[name] += outcome.accuracy(name)
     return {name: total / n_repeats for name, total in totals.items()}

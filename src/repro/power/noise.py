@@ -13,6 +13,21 @@ trace SNR of one) puts the k = 50 averaged matching correlation near
 0.98 and reproduces the paper's distinguisher behaviour; sigma = 1.8
 lands the matching mean on the paper's 0.94 at the cost of a thinner
 variance margin.
+
+**Stream contract.**  :meth:`NoiseModel.sample` draws trace-major from
+the generator's single bit stream, and each trace's draws depend only
+on its own stream segment (the drift random walk runs *within* a
+trace, never across traces).  Two consequences the acquisition layer
+relies on:
+
+* *chunk invariance* — sampling ``(a, l)`` then ``(b, l)`` from one
+  generator equals one ``(a + b, l)`` call split at row ``a``, so
+  :class:`~repro.acquisition.oscilloscope.Oscilloscope` can bound its
+  working set without changing a single byte;
+* *prefix stability* — the first ``n`` rows of a larger sample equal a
+  direct ``n``-row sample from a same-seeded generator, which is what
+  lets cached trace sets be reused by prefix across scenarios with
+  different trace budgets.
 """
 
 from __future__ import annotations
@@ -45,19 +60,25 @@ class NoiseModel:
         """Noise matrix of shape ``(n_traces, n_samples)``.
 
         ``signal_std`` scales the relative sigmas into absolute units.
+        Draws are trace-major and per-trace independent — see the
+        module docstring for the chunk/prefix stream contract.
         """
         if n_traces <= 0 or n_samples <= 0:
             raise ValueError("n_traces and n_samples must be positive")
         if signal_std < 0:
             raise ValueError("signal_std must be non-negative")
-        noise = rng.normal(
-            0.0, self.sigma * signal_std, size=(n_traces, n_samples)
-        )
-        if self.drift_sigma > 0:
-            steps = rng.normal(
-                0.0,
-                self.drift_sigma * signal_std / np.sqrt(n_samples),
-                size=(n_traces, n_samples),
+        if self.drift_sigma <= 0:
+            return rng.normal(
+                0.0, self.sigma * signal_std, size=(n_traces, n_samples)
             )
-            noise += np.cumsum(steps, axis=1)
+        # With drift enabled, each trace's white and drift draws must be
+        # consecutive in the stream (trace-major), otherwise the drift
+        # block's position would depend on n_traces and break the
+        # chunk/prefix contract above.
+        block = rng.standard_normal((n_traces, 2 * n_samples))
+        noise = self.sigma * signal_std * block[:, :n_samples]
+        steps = (
+            self.drift_sigma * signal_std / np.sqrt(n_samples)
+        ) * block[:, n_samples:]
+        noise += np.cumsum(steps, axis=1)
         return noise

@@ -31,6 +31,7 @@ from repro.sweeps.scenario import (
     run_scenario_campaign,
 )
 from repro.sweeps.spec import (
+    ANALYSIS_FIELDS,
     ATTACK_FIELD,
     CONFIG_FIELDS,
     GridAxis,
@@ -45,6 +46,7 @@ from repro.sweeps.spec import (
 from repro.sweeps.store import SweepStore
 
 __all__ = [
+    "ANALYSIS_FIELDS",
     "ATTACKS",
     "ATTACK_FIELD",
     "CONFIG_FIELDS",

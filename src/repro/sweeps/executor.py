@@ -14,9 +14,20 @@ run; only wall-clock time changes.  Workers write each finished
 scenario to the store *immediately*, so killing a sweep loses at most
 the scenarios in flight — a rerun picks up exactly the missing ones.
 
+Artifact sharing: passing ``artifacts=``
+:class:`~repro.experiments.artifacts.ArtifactOptions` gives every
+worker a process-wide :class:`~repro.experiments.artifacts.ArtifactCache`,
+so scenarios that differ only in analysis-side axes reuse one fleet
+manufacture and one trace acquisition — byte-identically, because
+acquisition streams are keyed per device, never sequential.  An
+options ``root`` adds a shared on-disk tier, which is how *separate
+worker processes* (and separate runs) meet: the first worker to need
+an acquisition persists it, the rest load it.
+
 Chunking walks the expansion order, which groups scenarios that share
-a fleet structure; inside one worker chunk the process-wide activity
-and compiled-program caches then make consecutive scenarios cheap.
+a fleet structure; inside one worker chunk the process-wide activity,
+compiled-program and artifact caches then make consecutive scenarios
+cheap.
 """
 
 from __future__ import annotations
@@ -26,6 +37,11 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
+from repro.experiments.artifacts import (
+    ArtifactCache,
+    ArtifactOptions,
+    process_artifact_cache,
+)
 from repro.sweeps.scenario import run_scenario
 from repro.sweeps.spec import Scenario, SweepSpec, expand_scenarios
 from repro.sweeps.store import SweepStore
@@ -59,19 +75,26 @@ class SweepReport:
         return len(self.cached_ids)
 
 
-def _execute_into_store(store_root: str, scenario: Scenario) -> str:
+def _execute_into_store(
+    store_root: str,
+    scenario: Scenario,
+    artifacts: Optional[ArtifactCache] = None,
+) -> str:
     """Run one scenario and persist it; returns the scenario id."""
-    result = run_scenario(scenario)
+    result = run_scenario(scenario, artifacts=artifacts)
     SweepStore(store_root).put(
         scenario.scenario_id, result["record"], result["arrays"]
     )
     return scenario.scenario_id
 
 
-def _pool_worker(payload: Tuple[str, Scenario]) -> str:
+def _pool_worker(
+    payload: Tuple[str, Scenario, Optional[ArtifactOptions]]
+) -> str:
     """Module-level pool target (must be picklable on every start method)."""
-    store_root, scenario = payload
-    return _execute_into_store(store_root, scenario)
+    store_root, scenario, options = payload
+    artifacts = process_artifact_cache(options) if options is not None else None
+    return _execute_into_store(store_root, scenario, artifacts)
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -90,12 +113,15 @@ def run_sweep(
     store: SweepStore,
     n_workers: int = 1,
     progress: Optional[Callable[[str, bool], None]] = None,
+    artifacts: Optional[ArtifactOptions] = None,
 ) -> SweepReport:
     """Execute every missing scenario of ``spec`` into ``store``.
 
     ``progress`` (if given) is called as ``progress(scenario_id,
     executed)`` once per scenario — immediately for cache hits, on
-    completion for executed ones.  Returns a :class:`SweepReport`;
+    completion for executed ones.  ``artifacts`` enables cross-scenario
+    artifact sharing (see the module docstring); results are
+    byte-identical with it on or off.  Returns a :class:`SweepReport`;
     aggregate results are read back from the store (see
     :mod:`repro.sweeps.aggregate`).
     """
@@ -121,15 +147,16 @@ def run_sweep(
         return report
 
     if n_workers == 1 or len(pending) == 1:
+        cache = process_artifact_cache(artifacts) if artifacts is not None else None
         for scenario in pending:
-            _execute_into_store(store.root, scenario)
+            _execute_into_store(store.root, scenario, cache)
             report.executed_ids.append(scenario.scenario_id)
             if progress is not None:
                 progress(scenario.scenario_id, True)
     else:
         n_procs = min(n_workers, len(pending))
         chunksize = max(1, len(pending) // (n_procs * CHUNKS_PER_WORKER))
-        payloads = [(store.root, scenario) for scenario in pending]
+        payloads = [(store.root, scenario, artifacts) for scenario in pending]
         with _pool_context().Pool(processes=n_procs) as pool:
             for scenario_id in pool.imap_unordered(
                 _pool_worker, payloads, chunksize=chunksize

@@ -16,49 +16,43 @@ deterministically ordered, canonically typed data.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
-from repro.attacks.removal import strip_output_pads_only, strip_watermark
+from repro.attacks import FLEET_TRANSFORMS, apply_fleet_transform
+from repro.experiments.artifacts import ArtifactCache
 from repro.experiments.designs import EXPECTED_MATCHES
-from repro.experiments.runner import (
-    CampaignOutcome,
-    manufacture_fleet,
-    run_campaign,
-)
+from repro.experiments.runner import CampaignOutcome, run_campaign
 from repro.sweeps.spec import ATTACK_FIELD, Scenario, scenario_config
 
-#: DUT netlist transforms selectable through the ``"attack"`` axis.
-#: ``None`` means no tampering; the callables mutate a
-#: :class:`~repro.fsm.watermark.WatermarkedIP` in place.
-ATTACKS: Dict[str, Optional[Callable]] = {
-    "none": None,
-    "strip": strip_watermark,
-    "strip_pads": strip_output_pads_only,
-}
+#: DUT netlist transforms selectable through the ``"attack"`` axis —
+#: the shared registry from :mod:`repro.attacks` (re-exported under
+#: the historical sweep-level names).
+ATTACKS: Dict[str, Optional[Callable]] = FLEET_TRANSFORMS
+
+#: Alias of :func:`repro.attacks.apply_fleet_transform`.
+apply_attack = apply_fleet_transform
 
 
-def apply_attack(duts: Mapping[str, object], attack: str) -> None:
-    """Apply one named transform to every DUT's IP, in place."""
-    try:
-        transform = ATTACKS[attack]
-    except KeyError:
-        raise KeyError(
-            f"unknown attack {attack!r}; choose from {sorted(ATTACKS)}"
-        ) from None
-    if transform is None:
-        return
-    for device in duts.values():
-        transform(device.ip)
+def run_scenario_campaign(
+    scenario: Scenario, artifacts: Optional[ArtifactCache] = None
+) -> CampaignOutcome:
+    """Manufacture, attack and measure one scenario's campaign.
 
-
-def run_scenario_campaign(scenario: Scenario) -> CampaignOutcome:
-    """Manufacture, attack and measure one scenario's campaign."""
+    The attack name travels as the campaign's ``fleet_tag``:
+    :func:`~repro.experiments.runner.run_campaign` manufactures the
+    fleet and applies the named transform itself, so tampered fleets
+    never alias pristine ones in any cache.  With an ``artifacts``
+    cache, the fleet and every acquired trace matrix are shared across
+    scenarios whose fleet/measurement tiers agree — byte-identically
+    to the unshared path, because acquisition streams are keyed per
+    device (see :mod:`repro.experiments.artifacts`).
+    """
     config = scenario_config(scenario)
-    refds, duts = manufacture_fleet(config)
-    apply_attack(duts, scenario.attack)
-    return run_campaign(config, fleet=(refds, duts))
+    return run_campaign(
+        config, artifacts=artifacts, fleet_tag=scenario.attack
+    )
 
 
 def outcome_metrics(outcome: CampaignOutcome) -> Dict[str, object]:
@@ -90,14 +84,18 @@ def outcome_arrays(outcome: CampaignOutcome) -> Dict[str, np.ndarray]:
     return arrays
 
 
-def run_scenario(scenario: Scenario) -> Dict[str, object]:
+def run_scenario(
+    scenario: Scenario, artifacts: Optional[ArtifactCache] = None
+) -> Dict[str, object]:
     """Run one scenario and return its full result payload.
 
     The returned mapping has two parts: ``"record"`` (JSON-able —
     scenario identity, overrides, metrics) and ``"arrays"`` (the raw
-    correlation sets for the array bundle).
+    correlation sets for the array bundle).  ``artifacts`` enables
+    cross-scenario fleet/trace sharing without changing a byte of the
+    payload.
     """
-    outcome = run_scenario_campaign(scenario)
+    outcome = run_scenario_campaign(scenario, artifacts=artifacts)
     record = {
         "scenario_id": scenario.scenario_id,
         "overrides": dict(scenario.overrides),

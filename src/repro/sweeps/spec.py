@@ -26,6 +26,16 @@ analysis seeds are mixed from ``spec.seed`` and the scenario's axis
 assignment.  Results therefore do not depend on worker count or
 execution order, and repeat-style sweeps are just an explicit axis over
 ``measurement_seed``.
+
+**Artifact sharing.**  Scenarios whose fleet and measurement tiers
+agree (see :mod:`repro.experiments.artifacts`) can share manufactured
+fleets and acquired trace matrices.  Because the derived seeds mix the
+*whole* assignment, an analysis-axis-only grid (:data:`ANALYSIS_FIELDS`
+— ``parameters.k/m/n1/n2``, ``analysis_seed``, ``single_reference``)
+still gets a distinct ``measurement_seed`` per scenario; to unlock
+sharing, pin ``fleet_seed`` and ``measurement_seed`` in ``base`` —
+scenario digests stay stable either way, since the digest covers the
+final override values, not how they were derived.
 """
 
 from __future__ import annotations
@@ -75,6 +85,23 @@ CONFIG_FIELDS = frozenset(
         "variation.offset_sigma",
         "variation.component_sigma",
         ATTACK_FIELD,
+    }
+)
+
+#: Analysis-side sweep fields: they change what is *computed from* the
+#: acquired traces, never the traces themselves (``n1``/``n2`` are mere
+#: ceilings — keyed acquisition is prefix-stable across budgets).  A
+#: grid confined to these fields can share every fleet and acquisition
+#: artifact once ``fleet_seed``/``measurement_seed`` are pinned in
+#: ``base``.
+ANALYSIS_FIELDS = frozenset(
+    {
+        "parameters.k",
+        "parameters.m",
+        "parameters.n1",
+        "parameters.n2",
+        "analysis_seed",
+        "single_reference",
     }
 )
 
@@ -339,6 +366,7 @@ def spec_to_dict(spec: SweepSpec) -> Dict[str, object]:
 
 
 __all__ = [
+    "ANALYSIS_FIELDS",
     "ATTACK_FIELD",
     "CONFIG_FIELDS",
     "SCHEMA_VERSION",

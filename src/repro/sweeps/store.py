@@ -15,6 +15,13 @@ leaves at worst an orphaned bundle or temp file, never a half-result
 that :meth:`SweepStore.has` would wrongly count as done.  Re-running a
 sweep (or a *different* sweep that happens to share scenarios) executes
 only the missing digests.
+
+The class is deliberately generic — a directory of (record, arrays)
+pairs keyed by digest with atomic, deterministic writes — so other
+content-addressed tiers reuse it: the artifact cache
+(:mod:`repro.experiments.artifacts`) persists acquired trace matrices
+through the same machinery, which is what lets separate sweep workers
+(and separate runs) share acquisitions over a plain filesystem.
 """
 
 from __future__ import annotations
@@ -123,6 +130,18 @@ class SweepStore:
     def records(self) -> List[Dict[str, object]]:
         """Every completed record, in digest order."""
         return [self.get(scenario_id) for scenario_id in self.ids()]
+
+    def size_bytes(self) -> int:
+        """Total bytes of all completed records and bundles on disk."""
+        total = 0
+        for scenario_id in self.ids():
+            for path in (
+                self.record_path(scenario_id),
+                self.arrays_path(scenario_id),
+            ):
+                if os.path.exists(path):
+                    total += os.path.getsize(path)
+        return total
 
 
 __all__ = ["SweepStore"]

@@ -140,6 +140,34 @@ class TestCorrelationProcess:
         r2 = process.run(t_ref, t_dut, 99)
         np.testing.assert_allclose(r1.coefficients, r2.coefficients)
 
+    def test_fresh_reference_branch_matches_historical_loop(self):
+        # Golden test for the vectorised E8 branch: same RNG stream,
+        # bit-identical coefficients as the per-coefficient loop it
+        # replaced.
+        from repro.core.averaging import k_averaged_trace
+        from repro.core.correlation import pearson
+
+        t_ref, t_dut = synthetic_sets(sigma=1.2)
+        p = SMALL
+        generator = np.random.default_rng(41)
+        expected = np.empty(p.m)
+        for i in range(p.m):
+            a_ref = k_averaged_trace(t_ref, p.k, generator)
+            a_dut_one = k_averaged_trace(t_dut, p.k, generator)
+            expected[i] = pearson(a_ref, a_dut_one)
+
+        process = CorrelationProcess(SMALL, single_reference=False)
+        result = process.run(t_ref, t_dut, np.random.default_rng(41))
+        np.testing.assert_array_equal(result.coefficients, expected)
+
+    def test_fresh_reference_branch_tolerates_readonly_matrices(self):
+        t_ref, t_dut = synthetic_sets()
+        t_ref.matrix.flags.writeable = False
+        t_dut.matrix.flags.writeable = False
+        process = CorrelationProcess(SMALL, single_reference=False)
+        result = process.run(t_ref, t_dut, 5)
+        assert result.coefficients.shape == (SMALL.m,)
+
 
 class TestCorrelationResult:
     def test_mean_and_variance(self):
