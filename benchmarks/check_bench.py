@@ -1,0 +1,285 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: enforce the BENCH_*.json perf trajectory.
+
+CI regenerates every ``BENCH_*.json`` on each run but, until this gate,
+only *uploaded* them — a silent perf regression would sail through.
+This script compares freshly regenerated benchmark files against the
+checked-in baselines (snapshotted before the benches run) and fails
+when any throughput-like metric regresses beyond a configurable
+tolerance.
+
+Metric classification is by key name, so new benchmark sections are
+gated automatically:
+
+* **higher is better** — keys containing ``per_sec`` / ``per_second``
+  or ``speedup``;
+* **lower is better** — keys ending in ``_sec`` / ``_seconds`` /
+  ``_bytes`` (wall times and memory footprints);
+* everything else (counts, cycle totals, labels) is informational.
+
+Dimensionless ratios (speedups) transfer across machines; absolute
+wall-clock and throughput numbers do not, so they get ``--tolerance``
+scaled by ``--absolute-slack`` (baselines are committed from whatever
+box ran the benches last, which is rarely the CI runner).  A metric
+present in the baseline but missing from the fresh results fails the
+gate — deleting a benchmark must be an explicit baseline update, not
+an accident.
+
+Exit status is 0 when everything holds, 1 on any regression.  A
+markdown summary is written to ``--report`` and appended to
+``$GITHUB_STEP_SUMMARY`` when that variable is set (i.e. under GitHub
+Actions).
+
+Usage (mirrors the ``campaign-bench-smoke`` CI job)::
+
+    cp BENCH_*.json .bench-baseline/
+    pytest -m bench benchmarks/... -s        # regenerates BENCH_*.json
+    python benchmarks/check_bench.py --baseline .bench-baseline --current .
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Default relative regression tolerance (35%), per the quality gate.
+DEFAULT_TOLERANCE = 0.35
+
+#: Extra slack multiplier for machine-dependent absolute metrics
+#: (wall seconds, cycles/sec): baseline and fresh numbers may come
+#: from different hardware.
+DEFAULT_ABSOLUTE_SLACK = 2.0
+
+HIGHER_BETTER = "higher"
+LOWER_BETTER = "lower"
+
+
+def classify(key: str) -> Optional[str]:
+    """Direction of one metric key, or ``None`` for informational keys."""
+    name = key.lower()
+    if "per_sec" in name or "per_second" in name or "speedup" in name:
+        return HIGHER_BETTER
+    if name.endswith(("_sec", "_seconds", "_bytes")):
+        return LOWER_BETTER
+    return None
+
+
+def is_ratio_metric(key: str) -> bool:
+    """Dimensionless metrics transfer across machines unchanged."""
+    return "speedup" in key.lower()
+
+
+def flatten(data: object, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield ``(dotted.path, value)`` for every numeric leaf."""
+    if isinstance(data, dict):
+        for key in sorted(data):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from flatten(data[key], path)
+    elif isinstance(data, bool):
+        return
+    elif isinstance(data, (int, float)):
+        yield prefix, float(data)
+
+
+def compare_file(
+    name: str,
+    baseline: dict,
+    current: dict,
+    tolerance: float,
+    absolute_slack: float,
+) -> List[dict]:
+    """Row dicts for every gated metric of one benchmark file."""
+    rows: List[dict] = []
+    current_values = dict(flatten(current))
+    baseline_values = dict(flatten(baseline))
+    for path, base_value in baseline_values.items():
+        direction = classify(path.rsplit(".", 1)[-1])
+        if direction is None:
+            continue
+        allowed = tolerance if is_ratio_metric(path) else tolerance * absolute_slack
+        row = {
+            "file": name,
+            "metric": path,
+            "direction": direction,
+            "baseline": base_value,
+            "allowed": allowed,
+        }
+        if path not in current_values:
+            row.update(current=None, change=None, status="missing")
+            rows.append(row)
+            continue
+        value = current_values[path]
+        if base_value == 0:
+            change = 0.0 if value == 0 else float("inf")
+        elif direction == HIGHER_BETTER:
+            change = (value - base_value) / base_value
+        else:
+            change = (base_value - value) / base_value
+        # ``change`` > 0 always means "improved" after the sign flip.
+        status = "ok" if change >= -allowed else "regression"
+        row.update(current=value, change=change, status=status)
+        rows.append(row)
+    for path, value in current_values.items():
+        if classify(path.rsplit(".", 1)[-1]) is None:
+            continue
+        if path not in baseline_values:
+            rows.append(
+                {
+                    "file": name,
+                    "metric": path,
+                    "direction": classify(path.rsplit(".", 1)[-1]),
+                    "baseline": None,
+                    "current": value,
+                    "change": None,
+                    "allowed": None,
+                    "status": "new",
+                }
+            )
+    return rows
+
+
+def render_report(rows: List[dict], tolerance: float, absolute_slack: float) -> str:
+    """Markdown summary table for humans and $GITHUB_STEP_SUMMARY."""
+    icons = {"ok": "✅", "regression": "❌", "missing": "❌", "new": "🆕"}
+    lines = [
+        "## Benchmark regression gate",
+        "",
+        f"Tolerance: {tolerance:.0%} on speedup ratios, "
+        f"{tolerance * absolute_slack:.0%} on machine-dependent absolutes. "
+        "Positive change = improvement.",
+        "",
+        "| | file | metric | baseline | current | change |",
+        "|---|---|---|---:|---:|---:|",
+    ]
+
+    def fmt(value: Optional[float]) -> str:
+        if value is None:
+            return "—"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+
+    for row in sorted(rows, key=lambda r: (r["status"] == "ok", r["file"], r["metric"])):
+        change = (
+            "—" if row["change"] is None else f"{row['change']:+.1%}"
+        )
+        lines.append(
+            f"| {icons[row['status']]} | {row['file']} | `{row['metric']}` "
+            f"| {fmt(row['baseline'])} | {fmt(row['current'])} | {change} |"
+        )
+    failures = [r for r in rows if r["status"] in ("regression", "missing")]
+    lines.append("")
+    if failures:
+        lines.append(
+            f"**{len(failures)} metric(s) regressed or disappeared** — "
+            "fix the regression or update the checked-in baseline on purpose."
+        )
+    else:
+        gated = sum(1 for r in rows if r["status"] == "ok")
+        lines.append(f"All {gated} gated metrics within tolerance.")
+    return "\n".join(lines) + "\n"
+
+
+def run_gate(
+    baseline_dir: Path,
+    current_dir: Path,
+    tolerance: float,
+    absolute_slack: float,
+) -> Tuple[List[dict], List[str]]:
+    """Compare every baseline BENCH file; returns (rows, errors)."""
+    rows: List[dict] = []
+    errors: List[str] = []
+    baseline_files = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baseline_files:
+        errors.append(f"no BENCH_*.json baselines found in {baseline_dir}")
+    for baseline_path in baseline_files:
+        current_path = current_dir / baseline_path.name
+        if not current_path.exists():
+            errors.append(
+                f"{baseline_path.name}: benchmark file was not regenerated"
+            )
+            continue
+        try:
+            baseline = json.loads(baseline_path.read_text())
+            current = json.loads(current_path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            errors.append(f"{baseline_path.name}: {err}")
+            continue
+        rows.extend(
+            compare_file(
+                baseline_path.name, baseline, current, tolerance, absolute_slack
+            )
+        )
+    return rows, errors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        required=True,
+        help="directory holding the checked-in BENCH_*.json snapshots",
+    )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=Path("."),
+        help="directory holding the freshly regenerated BENCH_*.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_GATE_TOLERANCE", DEFAULT_TOLERANCE)),
+        help="relative regression tolerance for ratio metrics "
+        f"(default {DEFAULT_TOLERANCE}, env BENCH_GATE_TOLERANCE)",
+    )
+    parser.add_argument(
+        "--absolute-slack",
+        type=float,
+        default=DEFAULT_ABSOLUTE_SLACK,
+        help="tolerance multiplier for machine-dependent absolute metrics "
+        f"(default {DEFAULT_ABSOLUTE_SLACK})",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="write the markdown summary to this path",
+    )
+    args = parser.parse_args(argv)
+
+    rows, errors = run_gate(
+        args.baseline, args.current, args.tolerance, args.absolute_slack
+    )
+    report = render_report(rows, args.tolerance, args.absolute_slack)
+    if errors:
+        report += "\n### Gate errors\n\n" + "\n".join(f"- {e}" for e in errors) + "\n"
+    print(report)
+    if args.report is not None:
+        args.report.write_text(report)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(report)
+
+    failures = [r for r in rows if r["status"] in ("regression", "missing")]
+    if failures or errors:
+        for row in failures:
+            print(
+                f"FAIL {row['file']} {row['metric']}: "
+                f"baseline {row['baseline']}, current {row['current']}",
+                file=sys.stderr,
+            )
+        for error in errors:
+            print(f"FAIL {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

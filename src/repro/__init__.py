@@ -32,6 +32,7 @@ from repro.acquisition import (
     Oscilloscope,
     TraceSet,
     acquire_traces,
+    prime_fleet_activity,
 )
 from repro.core import (
     CorrelationProcess,
@@ -69,6 +70,7 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "Device",
+    "prime_fleet_activity",
     "TraceSet",
     "Oscilloscope",
     "ADCConfig",

@@ -13,7 +13,7 @@ from repro.acquisition.io import (
     save_campaign,
     save_trace_set,
 )
-from repro.acquisition.device import Device
+from repro.acquisition.device import Device, prime_fleet_activity
 from repro.acquisition.faults import (
     clip_traces,
     desynchronize,
@@ -26,6 +26,7 @@ from repro.acquisition.traces import TraceSet
 
 __all__ = [
     "Device",
+    "prime_fleet_activity",
     "TraceSet",
     "Oscilloscope",
     "ADCConfig",

@@ -22,18 +22,28 @@ Caching happens at two levels:
   *distinct* netlist exactly once.  Shared
   :class:`~repro.hdl.activity.ActivityTrace` objects are treated as
   immutable by every consumer in this package.
+
+:func:`prime_fleet_activity` is the batched front door to that cache:
+instead of letting each device lazily simulate its own netlist, it
+dedupes a whole fleet down to its distinct ``(structure, cycles)``
+entries and fills them through
+:func:`~repro.hdl.simulator.simulate_batch`, which executes every
+group of shape-compatible netlists in **one** vectorised engine run.
+Batched execution is byte-identical to the per-device compiled path
+(the engine's core invariant), so priming never changes what any
+device observes — only how fast the cache fills.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.fsm.watermark import WatermarkedIP
 from repro.hdl.activity import ActivityTrace
-from repro.hdl.simulator import Simulator
+from repro.hdl.simulator import Simulator, simulate_batch
 from repro.power.models import PowerModel
 from repro.power.supply import WaveformConfig, render_waveform
 from repro.power.variation import DeviceVariation
@@ -54,6 +64,62 @@ def clear_fleet_activity_cache() -> None:
 def fleet_activity_cache_size() -> int:
     """Number of distinct (structure, cycles) entries currently shared."""
     return len(_FLEET_ACTIVITY_CACHE)
+
+
+def prime_fleet_activity(
+    devices: Iterable["Device"], n_cycles: Optional[int] = None
+) -> int:
+    """Fill the activity caches for a whole fleet with batched runs.
+
+    Groups ``devices`` by distinct ``(structural fingerprint, resolved
+    cycle count)``, skips everything already cached (per device or
+    process-wide), and simulates the remaining distinct netlists
+    through :func:`~repro.hdl.simulator.simulate_batch` — one
+    vectorised engine execution per netlist *shape*, with per-lane
+    cycle counts, instead of one scalar run per structure.  Devices
+    whose netlists cannot be fingerprinted (interpreted engines, input
+    ports) are simulated individually, exactly as the lazy
+    :meth:`Device.activity` path would.
+
+    Returns the number of distinct shareable entries that were actually
+    simulated.  After priming, every device's :meth:`Device.activity`
+    for the requested length is a cache hit, and the cached bytes are
+    identical to what lazy per-device simulation would have produced.
+    """
+    pending: "OrderedDict[Tuple[str, int], Simulator]" = OrderedDict()
+    followers: Dict[Tuple[str, int], List[Device]] = {}
+    for device in devices:
+        cycles = device.resolve_cycles(n_cycles)
+        if cycles in device._activity_cache:
+            continue
+        simulator = Simulator(device.ip.netlist, engine=device.engine)
+        key = simulator.structural_key
+        if key is None:
+            device._activity_cache[cycles] = simulator.run(cycles)
+            continue
+        fleet_key = (key, cycles)
+        cached = _FLEET_ACTIVITY_CACHE.get(fleet_key)
+        if cached is not None:
+            _FLEET_ACTIVITY_CACHE.move_to_end(fleet_key)
+            device._activity_cache[cycles] = cached
+            continue
+        if fleet_key in pending:
+            followers[fleet_key].append(device)
+        else:
+            pending[fleet_key] = simulator
+            followers[fleet_key] = [device]
+    if pending:
+        traces = simulate_batch(
+            list(pending.values()),
+            [cycles for _key, cycles in pending],
+        )
+        for (fleet_key, trace) in zip(pending, traces):
+            _FLEET_ACTIVITY_CACHE[fleet_key] = trace
+            for device in followers[fleet_key]:
+                device._activity_cache[fleet_key[1]] = trace
+        while len(_FLEET_ACTIVITY_CACHE) > FLEET_ACTIVITY_CACHE_MAX:
+            _FLEET_ACTIVITY_CACHE.popitem(last=False)
+    return len(pending)
 
 
 class Device:

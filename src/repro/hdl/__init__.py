@@ -44,12 +44,13 @@ from repro.hdl.engine import (
     CompileError,
     InterpretedEngine,
     compile_netlist,
+    run_batch,
 )
 from repro.hdl.io import ClockTree, InputPort, OutputPort
 from repro.hdl.memory import SyncROM
 from repro.hdl.netlist import Netlist, NetlistError
 from repro.hdl.register import DRegister
-from repro.hdl.simulator import Simulator
+from repro.hdl.simulator import Simulator, simulate_batch
 from repro.hdl.vcd import record_vcd, write_vcd
 from repro.hdl.verilog import VerilogExportError, export_testbench, export_verilog
 from repro.hdl.wires import Wire, bit, hamming_distance, hamming_weight, mask
@@ -83,10 +84,12 @@ __all__ = [
     "Netlist",
     "NetlistError",
     "Simulator",
+    "simulate_batch",
     "CompiledNetlist",
     "CompileError",
     "InterpretedEngine",
     "compile_netlist",
+    "run_batch",
     "export_verilog",
     "export_testbench",
     "VerilogExportError",

@@ -11,8 +11,13 @@ map at compile time and fills whole matrix columns with vectorised
 Hamming weights, so identical netlists always produce identical
 channel tuples — which is what lets the fleet-level activity cache in
 :mod:`repro.acquisition.device` share one trace object across many
-devices.  Consumers must therefore treat traces as immutable; every
-accessor below returns a fresh array.
+devices.  Whether a trace came from the interpreted oracle, a scalar
+compiled run or one lane of a batched
+:func:`~repro.hdl.engine.run_batch` execution is unobservable by
+construction: all three paths produce byte-identical matrices and
+channel tuples, so anything keyed on trace content (activity caches,
+artifact stores, sweep digests) may mix them freely.  Consumers must
+treat traces as immutable; every accessor below returns a fresh array.
 """
 
 from __future__ import annotations

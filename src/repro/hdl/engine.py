@@ -1,4 +1,4 @@
-"""Compiled netlist simulation engine (lower once, execute fast).
+"""Compiled netlist simulation engine (lower once, execute fast, batch wide).
 
 The interpreted simulation loop walks every wire and component object
 once per clock cycle and allocates fresh ``ActivityEvent``/``Channel``
@@ -25,26 +25,59 @@ and then executes a flat program:
    matrix, written column-by-column into the ``(cycles, n_channels)``
    activity matrix.  The channel-index map is computed once at compile
    time; no per-cycle objects are allocated.
+4. **Batching** (:func:`run_batch`) — the paper's experiments are
+   fleet-scale: many device instances of a handful of netlist
+   structures.  Lowering therefore also derives a *shape key* — the
+   structural fingerprint with every per-device datum (constant values,
+   lookup/ROM/transition tables, register reset values, wire initial
+   values, activity weights) abstracted away.  N netlists sharing a
+   shape key execute in **one** batched run: every wire becomes a
+   ``(batch,)`` NumPy vector, per-device constants and tables are bound
+   as stacked arrays indexed by lane, the step loop runs once for the
+   whole fleet, wire values are recorded into a
+   ``(cycles + 1, n_wires, batch)`` tensor, and activity is computed as
+   batched Hamming weights.  State-cycle memoisation is batch-aware:
+   stepping proceeds in chunks and each lane's state re-entry is
+   detected independently, so ragged fleets (different cycle counts,
+   different reset states) tile each lane's own period.
 
-The compiled output is bit-identical to the interpreted oracle
-(``tests/test_engine.py`` proves it for every paper design).  Lowering
-additionally yields a *structural fingerprint* — a digest of the wire
-table, component graph and all lowered truth tables — which
+**Invariant — batching never changes trace bytes.**  The compiled
+output is bit-identical to the interpreted oracle, and the batched path
+is byte-identical to the per-device compiled path: identical
+``ActivityTrace`` matrices, channels and post-run netlist state for
+every lane, regardless of batch size, lane order or raggedness
+(``tests/test_engine.py`` and ``tests/test_engine_batch.py`` prove it
+for every paper design).  Uint64 lane arithmetic mirrors the scalar
+integer statements operation for operation, and both paths share one
+activity kernel (:func:`_activity_from_values`), so consumers — most
+importantly the fleet-level activity cache in
+:mod:`repro.acquisition.device` — may freely mix scalar and batched
+executions without invalidating anything keyed on trace content.
+
+Lowering additionally yields a *structural fingerprint* — a digest of
+the wire table, component graph and all lowered truth tables — which
 :mod:`repro.acquisition.device` uses to share activity traces across a
-fleet of devices manufactured from the same IP.
+fleet of devices manufactured from the same IP.  Two netlists with the
+same structural fingerprint are bit-for-bit interchangeable; two
+netlists with the same *shape key* merely ride in the same batch and
+keep their own per-lane data.
 
 Netlists containing constructs the lowering pass cannot prove
 equivalent (custom component classes, wires outside the netlist,
 extremely wide buses) raise :class:`CompileError`; the
 :class:`~repro.hdl.simulator.Simulator` front-end then falls back to
-the interpreted reference engine automatically.
+the interpreted reference engine automatically.  Netlists with input
+ports, opaque lookup callables or very wide transition tables compile
+but are not *batchable*; :func:`~repro.hdl.simulator.simulate_batch`
+runs those lanes through the scalar path instead.
 """
 
 from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -66,7 +99,9 @@ from repro.hdl.register import DRegister
 from repro.hdl.wires import Wire, mask
 
 #: Lookup logic whose concatenated input bus is at most this wide is
-#: exhaustively enumerated into a flat table at compile time.
+#: exhaustively enumerated into a flat table at compile time.  The same
+#: bound caps the state wires of transition tables the batched engine
+#: densifies into sentinel-padded arrays.
 MAX_TABLE_BITS = 16
 
 #: Widest bus the int64-based activity vectorisation supports.
@@ -76,6 +111,13 @@ MAX_WIRE_WIDTH = 63
 #: skip the per-cycle dict bookkeeping (a design's period is rarely
 #: shorter than a few hundred cycles, so short runs cannot amortise it).
 MEMO_MIN_CYCLES = 512
+
+#: Cycles the batched runner steps between two scans for per-lane state
+#: re-entry.  Scanning is vectorised but not free, so it happens once
+#: per chunk rather than once per cycle; a chunk the size of
+#: :data:`MEMO_MIN_CYCLES` keeps the wasted post-period stepping of the
+#: fastest lane bounded by one chunk.
+BATCH_MEMO_CHUNK = MEMO_MIN_CYCLES
 
 
 class CompileError(Exception):
@@ -93,6 +135,15 @@ _PROGRAM_CACHE: "OrderedDict[str, Tuple[str, Callable, Callable, Callable]]" = (
     OrderedDict()
 )
 
+#: Process-wide cache of generated *batched* step programs, keyed on
+#: ``(shape key, per-slot uniformity mask)``: the same shape lowers to
+#: slightly different source depending on which data slots are uniform
+#: across the batch (uniform tables index 1-D, ragged tables index by
+#: lane), so both dimensions key the cache.
+_BATCH_PROGRAM_CACHE: "OrderedDict[Tuple[str, Tuple], Tuple[str, Callable, Callable]]" = (
+    OrderedDict()
+)
+
 #: Upper bound on distinct cached programs (LRU eviction).
 PROGRAM_CACHE_MAX = 128
 
@@ -100,11 +151,17 @@ PROGRAM_CACHE_MAX = 128
 def clear_program_cache() -> None:
     """Drop every shared compiled program (mainly for tests)."""
     _PROGRAM_CACHE.clear()
+    _BATCH_PROGRAM_CACHE.clear()
 
 
 def program_cache_size() -> int:
     """Number of distinct netlist structures with a cached program."""
     return len(_PROGRAM_CACHE)
+
+
+def batch_program_cache_size() -> int:
+    """Number of distinct (shape, uniformity) batched programs cached."""
+    return len(_BATCH_PROGRAM_CACHE)
 
 
 if hasattr(np, "bitwise_count"):
@@ -119,6 +176,99 @@ else:  # pragma: no cover - NumPy < 2.0
         )
         x = (x + (x >> np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
         return (x * np.uint64(0x0101010101010101)) >> np.uint64(56)
+
+
+#: Marks "no transition entry" in densified transition tables.  Legal
+#: wire values fit in :data:`MAX_WIRE_WIDTH` bits, so all-ones is free.
+_TT_SENTINEL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _activity_from_values(
+    values: np.ndarray,
+    cycles: int,
+    specs: Sequence[tuple],
+    params: Optional[Sequence[Optional[np.ndarray]]] = None,
+) -> np.ndarray:
+    """Activity matrix from a recorded wire-value tensor.
+
+    ``values`` is ``(cycles + 1, n_wires)`` for one netlist or
+    ``(cycles + 1, n_wires, batch)`` for a batched execution; the
+    result has the matching ``(cycles, n_channels[, batch])`` shape.
+    ``params`` optionally overrides the per-spec activity parameters
+    (LUT glitch factor, ROM precharge, clock load) with per-lane
+    arrays for batches whose lanes carry different weights.
+
+    Scalar and batched executions share this one kernel on purpose:
+    every operation is elementwise, so a lane of a batched result is
+    float-for-float identical to the same netlist's scalar result.
+    """
+    current = values[1:]
+    previous = values[:-1]
+    hd_cache: Dict[int, np.ndarray] = {}
+
+    def hd(wire: int) -> np.ndarray:
+        column = hd_cache.get(wire)
+        if column is None:
+            column = _popcount(current[:, wire] ^ previous[:, wire]).astype(
+                np.float64
+            )
+            hd_cache[wire] = column
+        return column
+
+    matrix = np.empty(
+        (cycles, len(specs)) + values.shape[2:], dtype=np.float64
+    )
+    for column, spec in enumerate(specs):
+        op = spec[0]
+        override = None if params is None else params[column]
+        if op == "reg" or op == "out":
+            matrix[:, column] = hd(spec[1])
+        elif op == "in_out":
+            matrix[:, column] = hd(spec[1]) + hd(spec[2])
+        elif op == "inc":
+            _, a, out, width = spec
+            value = current[:, a]
+            ripple = np.minimum(
+                _popcount(value ^ (value + np.uint64(1))), width
+            ).astype(np.float64)
+            matrix[:, column] = hd(out) + 2.0 * ripple
+        elif op == "lut":
+            _, inputs, out, glitch_factor = spec
+            if override is not None:
+                glitch_factor = override
+            toggles = 0.0 if not inputs else sum(hd(i) for i in inputs)
+            matrix[:, column] = hd(out) + glitch_factor * toggles
+        elif op == "tt":
+            matrix[:, column] = hd(spec[2]) + 0.5 * hd(spec[1])
+        elif op == "rom":
+            _, addr, data, precharge = spec
+            if override is not None:
+                precharge = override
+            matrix[:, column] = hd(addr) + hd(data) + precharge
+        elif op == "io":
+            matrix[:, column] = hd(spec[1])
+        elif op == "clock":
+            matrix[:, column] = spec[1] if override is None else override
+        else:  # pragma: no cover - specs are produced in-module
+            raise CompileError(f"unknown activity spec {op!r}")
+    return matrix
+
+
+@dataclass(frozen=True)
+class _BatchLane:
+    """Everything about one netlist that may differ from its shape mates.
+
+    A batched program is generated per *shape*; these per-lane payloads
+    supply the data the shape abstracts away: power-on wire values,
+    register reset values, the contents of every data slot (constants,
+    lookup tables, ROM images, transition tables, component names for
+    error messages) and the per-channel activity weights.
+    """
+
+    initials: Tuple[int, ...]
+    resets: Tuple[int, ...]
+    slot_values: Tuple[object, ...]
+    act_params: Tuple[Optional[float], ...]
 
 
 class _Lowering:
@@ -136,6 +286,9 @@ class _Lowering:
                 )
         self.namespace: Dict[str, object] = {}
         self.fingerprintable = True
+        #: Batch execution additionally requires every data-dependent
+        #: construct to be expressible as lane-indexed array lookups.
+        self.batchable = bool(self.wires)
         self.records: List[tuple] = [
             ("wires", tuple((w.name, w.width, w._initial) for w in self.wires))
         ]
@@ -143,6 +296,10 @@ class _Lowering:
         self.ports: List[InputPort] = []
         self.channels: List[Channel] = []
         self.activity_specs: List[tuple] = []
+        self.act_params: List[Optional[float]] = []
+        self.slot_kinds: List[str] = []
+        self.slot_values: List[object] = []
+        self._batch_op: Dict[int, tuple] = {}
         self._lookup_codegen: Dict[int, Optional[Tuple[int, ...]]] = {}
         self._counter = 0
 
@@ -162,6 +319,12 @@ class _Lowering:
         self.namespace[name] = value
         return name
 
+    def slot(self, kind: str, value: object) -> int:
+        """Allocate one per-lane data slot for the batched program."""
+        self.slot_kinds.append(kind)
+        self.slot_values.append(value)
+        return len(self.slot_kinds) - 1
+
     def lower(self) -> None:
         """Index wires, lower components, derive channels + fingerprint.
 
@@ -179,35 +342,45 @@ class _Lowering:
         if kind is DRegister:
             self._lower_register(component)
         elif kind is Constant:
+            out = self.wire_index(component.output)
             self.records.append(
-                ("Constant", component.name, self.wire_index(component.output),
-                 component.value)
+                ("Constant", component.name, out, component.value)
+            )
+            self._batch_op[id(component)] = (
+                "const", self.slot("const", component.value), out
             )
         elif kind is XorArray:
             a, b = self.wire_index(component.a), self.wire_index(component.b)
             out = self.wire_index(component.output)
             self.records.append(("XorArray", component.name, a, b, out))
+            self._batch_op[id(component)] = ("xor", a, b, out)
             self._channel(component, ("out", out))
         elif kind is Incrementer:
             a = self.wire_index(component.a)
             out = self.wire_index(component.output)
             self.records.append(("Incrementer", component.name, a, out))
+            self._batch_op[id(component)] = (
+                "inc", a, out, mask(component.a.width)
+            )
             self._channel(component, ("inc", a, out, component.a.width))
         elif kind is BinaryToGray:
             a = self.wire_index(component.a)
             out = self.wire_index(component.output)
             self.records.append(("BinaryToGray", component.name, a, out))
+            self._batch_op[id(component)] = ("b2g", a, out)
             self._channel(component, ("in_out", a, out))
         elif kind is GrayToBinary:
             a = self.wire_index(component.a)
             out = self.wire_index(component.output)
             self.records.append(("GrayToBinary", component.name, a, out))
+            self._batch_op[id(component)] = ("g2b", a, out, component.a.width)
             self._channel(component, ("in_out", a, out))
         elif kind is Mux2:
             s = self.wire_index(component.select)
             a, b = self.wire_index(component.a), self.wire_index(component.b)
             out = self.wire_index(component.output)
             self.records.append(("Mux2", component.name, s, a, b, out))
+            self._batch_op[id(component)] = ("mux", s, a, b, out)
             self._channel(component, ("out", out))
         elif kind is LookupLogic:
             self._lower_lookup(component)
@@ -220,6 +393,9 @@ class _Lowering:
                 ("SyncROM", component.name, addr, data, component.contents,
                  component.precharge_activity)
             )
+            self._batch_op[id(component)] = (
+                "rom", self.slot("table", component.contents), addr, data
+            )
             self._channel(
                 component, ("rom", addr, data, component.precharge_activity)
             )
@@ -227,8 +403,10 @@ class _Lowering:
             target = self.wire_index(component.target)
             self.ports.append(component)
             # Stimulus callables have no canonical description, so a
-            # netlist with input ports is never fingerprintable.
+            # netlist with input ports is never fingerprintable (and
+            # therefore never batchable).
             self.fingerprintable = False
+            self.batchable = False
             self._channel(component, ("io", target))
         elif kind is OutputPort:
             source = self.wire_index(component.source)
@@ -252,6 +430,13 @@ class _Lowering:
             )
         self.channels.append(Channel(component.name, kinds[0]))
         self.activity_specs.append(spec)
+        op = spec[0]
+        if op == "lut" or op == "rom":
+            self.act_params.append(spec[3])
+        elif op == "clock":
+            self.act_params.append(spec[1])
+        else:
+            self.act_params.append(None)
 
     def _lower_register(self, register: DRegister) -> None:
         d = self.wire_index(register.d)
@@ -271,8 +456,16 @@ class _Lowering:
                 ("LookupLogic", logic.name, in_idx, out, logic.glitch_factor,
                  table)
             )
+            parts = tuple(
+                (idx, wire.width)
+                for idx, wire in zip(in_idx, logic.input_wires)
+            )
+            self._batch_op[id(logic)] = (
+                "lut", self.slot("table", table), parts, out
+            )
         else:
             self.fingerprintable = False
+            self.batchable = False
         self._channel(logic, ("lut", in_idx, out, logic.glitch_factor))
         self._lookup_codegen[id(logic)] = table
 
@@ -320,10 +513,22 @@ class _Lowering:
                 raise CompileError(
                     f"{component.name}: negative state code {code}"
                 )
+        items = tuple(sorted(component.table.items()))
         self.records.append(
-            ("TransitionTable", component.name, state, nxt,
-             tuple(sorted(component.table.items())))
+            ("TransitionTable", component.name, state, nxt, items)
         )
+        if component.state.width <= MAX_TABLE_BITS:
+            self._batch_op[id(component)] = (
+                "tt",
+                self.slot("ttable", (component.state.width, items)),
+                self.slot("ttname", component.name),
+                state,
+                nxt,
+            )
+        else:
+            # Densifying a 2^width sentinel table is not worth it for
+            # very wide state buses; those lanes run scalar.
+            self.batchable = False
         self._channel(component, ("tt", state, nxt))
 
     # -- source assembly ---------------------------------------------------
@@ -455,16 +660,12 @@ class _Lowering:
             for i, reg in enumerate(self.registers)
         ]
 
-        def indent(lines: Sequence[str], level: int) -> str:
-            pad = "    " * level
-            return "\n".join(pad + line for line in lines) if lines else ""
-
         step = "\n".join(
             part for part in (
-                indent(capture, 2), indent(commit, 2), indent(loop_body, 2)
+                _indent(capture, 2), _indent(commit, 2), _indent(loop_body, 2)
             ) if part
         )
-        settle = indent(settle_body, 1) or "    pass"
+        settle = _indent(settle_body, 1) or "    pass"
         unpack_line = f"    {unpack} = _v\n" if names else ""
         unpack_run = f"    {unpack} = _init\n" if names else ""
 
@@ -508,6 +709,227 @@ class _Lowering:
         digest = hashlib.sha256(repr(tuple(self.records)).encode())
         return digest.hexdigest()
 
+    # -- batch metadata ----------------------------------------------------
+
+    def batch_metadata(
+        self, order: Sequence
+    ) -> Tuple[str, tuple, _BatchLane]:
+        """Shape key, codegen plan and per-lane payload for batching.
+
+        The *plan* is pure shape-level data (wire count, register d/q
+        indices, ordered batch ops, slot kinds) — everything the
+        batched code generator needs; the *lane* payload carries this
+        netlist's values for the data the shape abstracts away.  Two
+        netlists with equal shape keys have byte-identical plans.
+        """
+        ops = tuple(
+            self._batch_op[id(component)]
+            for component in order
+            if id(component) in self._batch_op
+        )
+        regs = tuple(
+            (self.wire_index(r.d), self.wire_index(r.q))
+            for r in self.registers
+        )
+        widths = tuple(w.width for w in self.wires)
+        stripped_specs = []
+        for spec in self.activity_specs:
+            op = spec[0]
+            if op == "lut" or op == "rom":
+                stripped_specs.append(spec[:3])
+            elif op == "clock":
+                stripped_specs.append((op,))
+            else:
+                stripped_specs.append(spec)
+        shape_records = (
+            widths, regs, ops, tuple(stripped_specs), tuple(self.slot_kinds)
+        )
+        shape_key = hashlib.sha256(repr(shape_records).encode()).hexdigest()
+        plan = (len(self.wires), regs, ops, tuple(self.slot_kinds))
+        lane = _BatchLane(
+            initials=tuple(w._initial for w in self.wires),
+            resets=tuple(r.reset_value for r in self.registers),
+            slot_values=tuple(self.slot_values),
+            act_params=tuple(self.act_params),
+        )
+        return shape_key, plan, lane
+
+
+def _indent(lines: Sequence[str], level: int) -> str:
+    pad = "    " * level
+    return "\n".join(pad + line for line in lines) if lines else ""
+
+
+# -- batched code generation ----------------------------------------------
+
+
+def _batch_statement(op: tuple, uniform: Tuple) -> List[str]:
+    """Vectorised statements for one lowered batch op.
+
+    Mirrors :meth:`_Lowering._comb_statement` operation for operation,
+    but over ``(batch,)`` uint64 lane vectors: per-lane data comes from
+    the ``_D{slot}`` arrays, ragged tables index by lane through the
+    ``_L`` lane-index vector, and Python conditionals become
+    ``numpy.where``.  Every statement rebinds (never mutates) its
+    arrays, so captured register values stay stable within a cycle.
+    """
+    kind = op[0]
+    if kind == "const":
+        _, slot, out = op
+        return [f"w{out} = _D{slot}"]
+    if kind == "xor":
+        _, a, b, out = op
+        return [f"w{out} = w{a} ^ w{b}"]
+    if kind == "inc":
+        _, a, out, m = op
+        return [f"w{out} = (w{a} + 1) & {m}"]
+    if kind == "b2g":
+        _, a, out = op
+        return [f"w{out} = w{a} ^ (w{a} >> 1)"]
+    if kind == "g2b":
+        _, a, out, width = op
+        lines = [f"_x = w{a}"]
+        shift = 1
+        while shift < width:
+            lines.append(f"_x = _x ^ (_x >> {shift})")
+            shift <<= 1
+        lines.append(f"w{out} = _x")
+        return lines
+    if kind == "mux":
+        _, s, a, b, out = op
+        return [f"w{out} = _np.where(w{s} != 0, w{b}, w{a})"]
+    if kind == "lut":
+        _, slot, parts, out = op
+        shift = sum(width for _, width in parts)
+        exprs = []
+        for idx, width in parts:
+            shift -= width
+            exprs.append(f"(w{idx} << {shift})" if shift else f"w{idx}")
+        index = " | ".join(exprs)
+        if uniform[slot]:
+            return [f"w{out} = _D{slot}[{index}]"]
+        return [f"w{out} = _D{slot}[_L, {index}]"]
+    if kind == "rom":
+        _, slot, addr, out = op
+        if uniform[slot]:
+            return [f"w{out} = _D{slot}[w{addr}]"]
+        return [f"w{out} = _D{slot}[_L, w{addr}]"]
+    if kind == "tt":
+        _, tslot, nslot, state, out = op
+        lookup = (
+            f"w{out} = _D{tslot}[w{state}]"
+            if uniform[tslot]
+            else f"w{out} = _D{tslot}[_L, w{state}]"
+        )
+        return [
+            lookup,
+            f"if (w{out} == _TTSENT).any():",
+            f"    _i = int((w{out} == _TTSENT).argmax())",
+            f"    raise KeyError('%s: state code %s has no transition "
+            f"entry' % (_D{nslot}[_i], format(int(w{state}[_i]), '#x')))",
+        ]
+    raise CompileError(  # pragma: no cover - ops are produced in-module
+        f"no batched lowering for op {kind!r}"
+    )
+
+
+def _build_batch_source(plan: tuple, uniform: Tuple) -> str:
+    """Assemble ``_bsettle`` / ``_brun`` source for one shape."""
+    n_wires, regs, ops, slot_kinds = plan
+    names = [f"w{i}" for i in range(n_wires)]
+    unpack = ", ".join(names) + ","
+    data_names = [f"_D{i}" for i in range(len(slot_kinds))] + ["_L"]
+    data_unpack = "(" + ", ".join(data_names) + ",) = _d"
+
+    body: List[str] = []
+    for op in ops:
+        body.extend(_batch_statement(op, uniform))
+    capture = [f"_c{i} = w{d}" for i, (d, _q) in enumerate(regs)]
+    commit = [f"w{q} = _c{i}" for i, (_d, q) in enumerate(regs)]
+    stores = ["_Ot = _O[_t + 1]"] + [f"_Ot[{i}] = w{i}" for i in range(n_wires)]
+
+    settle_body = _indent(body, 1) or "    pass"
+    step = "\n".join(
+        part for part in (
+            _indent(capture, 2),
+            _indent(commit, 2),
+            _indent(body, 2),
+            _indent(stores, 2),
+        ) if part
+    )
+    return (
+        f"def _bsettle(_w, _d):\n"
+        f"    {data_unpack}\n"
+        f"    ({unpack}) = _w\n"
+        f"{settle_body}\n"
+        f"    return ({unpack})\n"
+        f"\n"
+        f"def _brun(_cycles, _w, _O, _d):\n"
+        f"    {data_unpack}\n"
+        f"    ({unpack}) = _w\n"
+        f"    for _t in range(_cycles):\n"
+        f"{step}\n"
+        f"    return ({unpack})\n"
+    )
+
+
+def _batch_program(
+    shape_key: str, plan: tuple, uniform: Tuple
+) -> Tuple[Callable, Callable]:
+    """Fetch or generate the batched program for (shape, uniformity)."""
+    cache_key = (shape_key, uniform)
+    cached = _BATCH_PROGRAM_CACHE.get(cache_key)
+    if cached is not None:
+        _BATCH_PROGRAM_CACHE.move_to_end(cache_key)
+        return cached[1], cached[2]
+    source = _build_batch_source(plan, uniform)
+    namespace: Dict[str, object] = {"_np": np, "_TTSENT": _TT_SENTINEL}
+    exec(compile(source, "<batched>", "exec"), namespace)
+    entry = (source, namespace["_bsettle"], namespace["_brun"])
+    _BATCH_PROGRAM_CACHE[cache_key] = entry
+    while len(_BATCH_PROGRAM_CACHE) > PROGRAM_CACHE_MAX:
+        _BATCH_PROGRAM_CACHE.popitem(last=False)
+    return entry[1], entry[2]
+
+
+def _dense_transition_table(value: Tuple[int, Tuple]) -> np.ndarray:
+    """Densify a (state width, sorted items) transition table.
+
+    Missing codes hold :data:`_TT_SENTINEL`, which the generated check
+    turns into the same ``KeyError`` the scalar paths raise.
+    """
+    width, items = value
+    size = 1 << width
+    table = np.full(size, _TT_SENTINEL, dtype=np.uint64)
+    for code, target in items:
+        # Codes beyond the state wire's width are unreachable (wires
+        # are width-masked); the scalar paths simply never look them
+        # up, so the dense form drops them rather than overflowing.
+        if code < size:
+            table[code] = target
+    return table
+
+
+def _first_state_reentry(rows: np.ndarray) -> Optional[Tuple[int, int]]:
+    """First ``(j, t1)`` with ``rows[t1] == rows[j]`` and ``j < t1``.
+
+    This is exactly the state re-entry the scalar ``_run_memo`` detects:
+    ``t1`` is the first time index whose full wire-value row repeats an
+    earlier row ``j``; from ``j`` on the sequence is periodic with
+    period ``t1 - j``.  Returns ``None`` when no row repeats.
+    """
+    arr = np.ascontiguousarray(rows)
+    _, first_index, inverse = np.unique(
+        arr, axis=0, return_index=True, return_inverse=True
+    )
+    inverse = np.asarray(inverse).reshape(-1)
+    first_occurrence = first_index[inverse]
+    duplicate = first_occurrence != np.arange(arr.shape[0])
+    if not duplicate.any():
+        return None
+    t1 = int(duplicate.argmax())
+    return int(first_occurrence[t1]), t1
+
 
 class CompiledNetlist:
     """A netlist lowered to a flat, table-driven program.
@@ -517,6 +939,8 @@ class CompiledNetlist:
     the owning :class:`~repro.hdl.netlist.Netlist` object's state in
     sync after every run, so compiled and interpreted runs can be
     interleaved freely (``reset=False`` continues where either left off).
+    Engines whose :attr:`shape_key` is not ``None`` can additionally be
+    executed many-at-a-time through :func:`run_batch`.
     """
 
     name = "compiled"
@@ -525,6 +949,16 @@ class CompiledNetlist:
         self.netlist = netlist
         self.channels: Tuple[Channel, ...] = tuple(lowering.channels)
         self.structural_key: Optional[str] = lowering.fingerprint()
+        #: Structure modulo per-device data: netlists sharing a shape
+        #: key ride in one batched execution.  ``None`` when the
+        #: netlist cannot be batch-executed.
+        self.shape_key: Optional[str] = None
+        self.batch_plan: Optional[tuple] = None
+        self.batch_lane: Optional[_BatchLane] = None
+        if lowering.batchable:
+            self.shape_key, self.batch_plan, self.batch_lane = (
+                lowering.batch_metadata(netlist.combinational_order())
+            )
         self._lowering: Optional[_Lowering] = lowering
         self._wires = lowering.wires
         self._index = lowering.index
@@ -630,51 +1064,7 @@ class CompiledNetlist:
     # -- activity ----------------------------------------------------------
 
     def _activity_matrix(self, values: np.ndarray, cycles: int) -> np.ndarray:
-        current = values[1:]
-        previous = values[:-1]
-        hd_cache: Dict[int, np.ndarray] = {}
-
-        def hd(wire: int) -> np.ndarray:
-            column = hd_cache.get(wire)
-            if column is None:
-                column = _popcount(current[:, wire] ^ previous[:, wire]).astype(
-                    np.float64
-                )
-                hd_cache[wire] = column
-            return column
-
-        matrix = np.empty((cycles, len(self._specs)), dtype=np.float64)
-        for column, spec in enumerate(self._specs):
-            op = spec[0]
-            if op == "reg" or op == "out":
-                matrix[:, column] = hd(spec[1])
-            elif op == "in_out":
-                matrix[:, column] = hd(spec[1]) + hd(spec[2])
-            elif op == "inc":
-                _, a, out, width = spec
-                value = current[:, a]
-                ripple = np.minimum(
-                    _popcount(value ^ (value + np.uint64(1))), width
-                ).astype(np.float64)
-                matrix[:, column] = hd(out) + 2.0 * ripple
-            elif op == "lut":
-                _, inputs, out, glitch_factor = spec
-                toggles = np.zeros(cycles) if not inputs else sum(
-                    hd(i) for i in inputs
-                )
-                matrix[:, column] = hd(out) + glitch_factor * toggles
-            elif op == "tt":
-                matrix[:, column] = hd(spec[2]) + 0.5 * hd(spec[1])
-            elif op == "rom":
-                _, addr, data, precharge = spec
-                matrix[:, column] = hd(addr) + hd(data) + precharge
-            elif op == "io":
-                matrix[:, column] = hd(spec[1])
-            elif op == "clock":
-                matrix[:, column] = spec[1]
-            else:  # pragma: no cover - specs are produced in-module
-                raise CompileError(f"unknown activity spec {op!r}")
-        return matrix
+        return _activity_from_values(values, cycles, self._specs)
 
     # -- public API --------------------------------------------------------
 
@@ -696,6 +1086,231 @@ class CompiledNetlist:
         return [int(v) for v in values[1:, index]]
 
 
+CyclesLike = Union[int, Sequence[int]]
+
+
+def _lane_cycles(engines: Sequence, cycles: CyclesLike) -> List[int]:
+    """Normalise one shared or per-lane cycle counts into a list."""
+    if isinstance(cycles, (int, np.integer)):
+        lane_cycles = [int(cycles)] * len(engines)
+    else:
+        lane_cycles = [int(c) for c in cycles]
+        if len(lane_cycles) != len(engines):
+            raise ValueError(
+                f"got {len(lane_cycles)} cycle counts for "
+                f"{len(engines)} engines"
+            )
+    for count in lane_cycles:
+        if count <= 0:
+            raise ValueError(f"cycles must be positive, got {count}")
+    return lane_cycles
+
+
+def run_batch(
+    engines: Sequence[CompiledNetlist],
+    cycles: CyclesLike,
+    reset: bool = True,
+) -> List[ActivityTrace]:
+    """Execute N shape-compatible compiled netlists in one batched run.
+
+    All engines must share a :attr:`~CompiledNetlist.shape_key`;
+    ``cycles`` is one count for every lane or a per-lane sequence
+    (ragged batches run to the longest lane and slice each lane's
+    prefix).  Returns one :class:`~repro.hdl.activity.ActivityTrace`
+    per engine, in order, and writes each lane's final state back onto
+    its netlist objects — **byte-identical** to calling
+    ``engine.run(cycles, reset)`` on every engine separately, for any
+    batch size (including 1) and any lane order.
+
+    The speedup comes from amortising the Python step loop: one
+    iteration advances every lane via ``(batch,)`` vector operations,
+    per-lane constants/tables are indexed by lane, and runs past
+    :data:`MEMO_MIN_CYCLES` detect each lane's state re-entry
+    independently and tile the periodic suffix instead of stepping.
+    """
+    engines = list(engines)
+    if not engines:
+        raise ValueError("run_batch needs at least one engine")
+    shape_key = engines[0].shape_key
+    for engine in engines:
+        if engine.shape_key is None:
+            raise CompileError(
+                f"netlist {engine.netlist.name!r} cannot be batch-executed "
+                "(input ports, opaque lookup callables or very wide "
+                "transition tables)"
+            )
+        if engine.shape_key != shape_key:
+            raise ValueError(
+                f"netlist {engine.netlist.name!r} has a different shape "
+                "than the first engine; group lanes by shape_key first"
+            )
+    lane_cycles = _lane_cycles(engines, cycles)
+    batch = len(engines)
+    n_wires, regs, _ops, slot_kinds = engines[0].batch_plan
+    lanes = [engine.batch_lane for engine in engines]
+
+    # Per-slot data: uniform table slots collapse to one 1-D array (and
+    # a cheaper generated indexing mode); everything else stacks per lane.
+    uniform: List[Optional[bool]] = []
+    data: List[object] = []
+    for slot, kind in enumerate(slot_kinds):
+        values = [lane.slot_values[slot] for lane in lanes]
+        if kind == "const":
+            uniform.append(None)
+            data.append(np.array(values, dtype=np.uint64))
+        elif kind == "table":
+            same = all(v == values[0] for v in values[1:])
+            uniform.append(same)
+            data.append(
+                np.array(values[0] if same else values, dtype=np.uint64)
+            )
+        elif kind == "ttable":
+            same = all(v == values[0] for v in values[1:])
+            uniform.append(same)
+            if same:
+                data.append(_dense_transition_table(values[0]))
+            else:
+                data.append(
+                    np.stack([_dense_transition_table(v) for v in values])
+                )
+        else:  # "ttname"
+            uniform.append(None)
+            data.append(tuple(values))
+    data.append(np.arange(batch))
+    data_tuple = tuple(data)
+    settle, run = _batch_program(shape_key, engines[0].batch_plan, tuple(uniform))
+
+    # Baseline: per-lane power-on (+ reset) values settled in one pass,
+    # or each lane's current wire values for a continuation run.
+    if reset:
+        init = np.array([lane.initials for lane in lanes], dtype=np.uint64).T
+        for reg_slot, (_d, q) in enumerate(regs):
+            init[q] = np.array(
+                [lane.resets[reg_slot] for lane in lanes], dtype=np.uint64
+            )
+        state = settle(init, data_tuple)
+    else:
+        state = np.array(
+            [[w.value for w in engine._wires] for engine in engines],
+            dtype=np.uint64,
+        ).T
+
+    max_cycles = max(lane_cycles)
+    repeats: List[Optional[Tuple[int, int]]] = [None] * batch
+    if max_cycles < MEMO_MIN_CYCLES:
+        values = np.empty((max_cycles + 1, n_wires, batch), dtype=np.uint64)
+        values[0] = np.asarray(state)
+        run(max_cycles, state, values, data_tuple)
+        stepped = max_cycles
+    else:
+        # Memoising run: step into a geometrically growing buffer (so
+        # copying stays O(stepped) total, and memory tracks how far the
+        # slowest lane actually stepped, not the requested cycles) and
+        # scan for per-lane state re-entry at geometrically spaced
+        # points (so the O(T log T) duplicate scans amortise to
+        # O(T log T) overall rather than rescanning every chunk).
+        # Scan timing never changes results: the first re-entry
+        # (j, t1) is a property of the value rows, not of when we look.
+        capacity = min(max_cycles, BATCH_MEMO_CHUNK)
+        buffer = np.empty((capacity + 1, n_wires, batch), dtype=np.uint64)
+        buffer[0] = np.asarray(state)
+        stepped = 0
+        next_scan = BATCH_MEMO_CHUNK
+        while stepped < max_cycles:
+            if stepped == capacity:
+                capacity = min(max_cycles, capacity * 2)
+                grown = np.empty(
+                    (capacity + 1, n_wires, batch), dtype=np.uint64
+                )
+                grown[:stepped + 1] = buffer[:stepped + 1]
+                buffer = grown
+            count = min(
+                BATCH_MEMO_CHUNK, max_cycles - stepped, capacity - stepped
+            )
+            state = run(
+                count, state, buffer[stepped:stepped + count + 1], data_tuple
+            )
+            stepped += count
+            if stepped < next_scan and stepped < max_cycles:
+                continue
+            next_scan = stepped * 2
+            all_resolved = True
+            for lane_index in range(batch):
+                if (
+                    repeats[lane_index] is None
+                    and lane_cycles[lane_index] > stepped
+                ):
+                    repeats[lane_index] = _first_state_reentry(
+                        buffer[:stepped + 1, :, lane_index]
+                    )
+                    if repeats[lane_index] is None:
+                        all_resolved = False
+            if all_resolved:
+                break
+        values = buffer[:stepped + 1]
+
+    traces: List[ActivityTrace] = []
+    if stepped == max_cycles:
+        # Every lane was stepped in full: one batched activity pass,
+        # then per-lane prefix slices for ragged cycle counts.
+        params = _lane_act_params(engines[0]._specs, lanes)
+        activity = _activity_from_values(
+            values, max_cycles, engines[0]._specs, params
+        )
+        for lane_index, engine in enumerate(engines):
+            count = lane_cycles[lane_index]
+            matrix = activity[:count, :, lane_index].copy()
+            engine._write_back(
+                np.ascontiguousarray(values[count - 1:count + 1, :, lane_index]),
+                (),
+                count,
+            )
+            traces.append(ActivityTrace(engine.channels, matrix))
+    else:
+        # Memoised early stop: assemble each lane's full value matrix
+        # (stepped prefix + tiled periodic suffix) and reuse the shared
+        # activity kernel per lane.
+        for lane_index, engine in enumerate(engines):
+            count = lane_cycles[lane_index]
+            lane_values = np.ascontiguousarray(values[:, :, lane_index])
+            if count + 1 > lane_values.shape[0]:
+                j, t1 = repeats[lane_index]
+                period = t1 - j
+                missing = count + 1 - lane_values.shape[0]
+                absolute = stepped + 1 + np.arange(missing)
+                lane_values = np.concatenate(
+                    [lane_values, lane_values[j + (absolute - t1) % period]],
+                    axis=0,
+                )
+            else:
+                lane_values = lane_values[:count + 1]
+            matrix = _activity_from_values(lane_values, count, engine._specs)
+            engine._write_back(lane_values[-2:], (), count)
+            traces.append(ActivityTrace(engine.channels, matrix))
+    return traces
+
+
+def _lane_act_params(
+    specs: Sequence[tuple], lanes: Sequence[_BatchLane]
+) -> Optional[List[Optional[np.ndarray]]]:
+    """Per-spec activity-parameter overrides for a batch.
+
+    ``None`` entries keep the (shared) scalar parameter already baked
+    into the spec; lanes that disagree get a ``(batch,)`` float array
+    that broadcasts across the cycle axis.
+    """
+    overrides: List[Optional[np.ndarray]] = []
+    any_override = False
+    for column in range(len(specs)):
+        values = [lane.act_params[column] for lane in lanes]
+        if values[0] is None or all(v == values[0] for v in values[1:]):
+            overrides.append(None)
+        else:
+            overrides.append(np.array(values, dtype=np.float64))
+            any_override = True
+    return overrides if any_override else None
+
+
 class InterpretedEngine:
     """The original object-walking simulation loop, kept as the oracle.
 
@@ -705,6 +1320,7 @@ class InterpretedEngine:
 
     name = "interpreted"
     structural_key: Optional[str] = None
+    shape_key: Optional[str] = None
 
     def __init__(self, netlist: Netlist):
         netlist.validate()
@@ -780,10 +1396,13 @@ __all__ = [
     "CompiledNetlist",
     "InterpretedEngine",
     "compile_netlist",
+    "run_batch",
     "clear_program_cache",
     "program_cache_size",
+    "batch_program_cache_size",
     "MAX_TABLE_BITS",
     "MAX_WIRE_WIDTH",
     "MEMO_MIN_CYCLES",
+    "BATCH_MEMO_CHUNK",
     "PROGRAM_CACHE_MAX",
 ]

@@ -19,6 +19,13 @@ interpreted one for netlists the lowering pass does not support
 (custom component classes, >63-bit buses, wires not registered in the
 netlist).
 
+Fleet-scale workloads use :func:`simulate_batch`: it groups many
+simulators by the compiled engine's *shape key* and executes each
+group in one vectorised :func:`~repro.hdl.engine.run_batch` call,
+falling back to per-simulator ``run`` for lanes the batched path does
+not cover.  Batched results are byte-identical to the scalar loop —
+batching is purely an execution strategy, never a semantic choice.
+
 Each simulated cycle models one clock period of the synchronous design:
 wires latch their settled values as "previous", registers capture and
 commit, input ports advance their stimulus, combinational logic
@@ -30,10 +37,17 @@ power chain turns into oscilloscope-like traces.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hdl.activity import ActivityTrace
-from repro.hdl.engine import CompileError, InterpretedEngine, compile_netlist
+from repro.hdl.engine import (
+    CompileError,
+    CyclesLike,
+    InterpretedEngine,
+    _lane_cycles,
+    compile_netlist,
+    run_batch,
+)
 from repro.hdl.netlist import Netlist
 
 #: Engine selectors accepted by :class:`Simulator`.
@@ -115,3 +129,52 @@ class Simulator:
         q_wire = register.output_wires[0]
         self._refresh_engine()
         return self._engine.wire_sequence(q_wire, cycles)
+
+
+def simulate_batch(
+    simulators: Sequence[Simulator],
+    cycles: CyclesLike,
+    reset: bool = True,
+) -> List[ActivityTrace]:
+    """Run many simulators, batching shape-compatible compiled engines.
+
+    ``cycles`` is one count shared by every simulator or a per-simulator
+    sequence.  Simulators whose compiled engines share a
+    :attr:`~repro.hdl.engine.CompiledNetlist.shape_key` execute in one
+    :func:`~repro.hdl.engine.run_batch` call per group; singleton
+    groups, interpreted engines and unbatchable netlists run through the
+    ordinary scalar ``run``.  Results come back in input order and are
+    byte-identical — traces and post-run netlist state — to calling
+    ``simulator.run(cycles, reset)`` in a loop.
+    """
+    sims = list(simulators)
+    lane_cycles = _lane_cycles(sims, cycles)
+    results: List[Optional[ActivityTrace]] = [None] * len(sims)
+    groups: Dict[str, List[int]] = {}
+    seen_netlists = set()
+    for position, simulator in enumerate(sims):
+        simulator._refresh_engine()
+        engine = simulator._engine
+        shape_key = getattr(engine, "shape_key", None)
+        # A netlist appearing twice (same simulator listed again, or
+        # two simulators sharing one netlist) batches only once; its
+        # later positions run through the scalar loop below *after*
+        # the batch wrote the first run's state back, which preserves
+        # the sequential loop's continuation semantics exactly.
+        if shape_key is not None and id(simulator.netlist) not in seen_netlists:
+            seen_netlists.add(id(simulator.netlist))
+            groups.setdefault(shape_key, []).append(position)
+    for members in groups.values():
+        if len(members) < 2:
+            continue
+        traces = run_batch(
+            [sims[i]._engine for i in members],
+            [lane_cycles[i] for i in members],
+            reset=reset,
+        )
+        for position, trace in zip(members, traces):
+            results[position] = trace
+    for position, simulator in enumerate(sims):
+        if results[position] is None:
+            results[position] = simulator.run(lane_cycles[position], reset=reset)
+    return results

@@ -1,0 +1,190 @@
+"""Unit tests for the CI benchmark regression gate.
+
+``benchmarks/check_bench.py`` is what turns the regenerated
+``BENCH_*.json`` files from an uploaded artifact into an enforced
+quality gate, so its classification and comparison logic is tier-1
+tested here (the script itself is plain stdlib and runs without the
+package installed).
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "check_bench.py"
+_spec = importlib.util.spec_from_file_location("check_bench", _SCRIPT)
+check_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_bench)
+
+
+def write_bench(directory: Path, name: str, data: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_text(json.dumps(data))
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "key", ["speedup", "shared_speedup", "speedup_vs_compiled",
+                "compiled_cycles_per_sec", "scenarios_per_second"]
+    )
+    def test_higher_better(self, key):
+        assert check_bench.classify(key) == check_bench.HIGHER_BETTER
+
+    @pytest.mark.parametrize(
+        "key", ["cold_seconds", "batched_wall_sec", "peak_trace_matrix_bytes"]
+    )
+    def test_lower_better(self, key):
+        assert check_bench.classify(key) == check_bench.LOWER_BETTER
+
+    @pytest.mark.parametrize("key", ["devices", "cycles", "n_scenarios", "grid"])
+    def test_informational(self, key):
+        assert check_bench.classify(key) is None
+
+    def test_only_ratios_are_machine_independent(self):
+        assert check_bench.is_ratio_metric("speedup")
+        assert not check_bench.is_ratio_metric("compiled_cycles_per_sec")
+
+
+class TestFlatten:
+    def test_nested_paths_and_non_numerics(self):
+        flat = dict(
+            check_bench.flatten(
+                {"a": {"speedup": 2.0, "design": "IP_B"}, "top": 7}
+            )
+        )
+        assert flat == {"a.speedup": 2.0, "top": 7.0}
+
+
+class TestGate:
+    def run(self, tmp_path, baseline, current, tolerance=0.35, slack=1.0):
+        write_bench(tmp_path / "base", "BENCH_x.json", baseline)
+        write_bench(tmp_path / "cur", "BENCH_x.json", current)
+        return check_bench.run_gate(
+            tmp_path / "base", tmp_path / "cur", tolerance, slack
+        )
+
+    def test_within_tolerance_passes(self, tmp_path):
+        rows, errors = self.run(
+            tmp_path,
+            {"fleet": {"speedup": 40.0, "wall_sec": 1.0}},
+            {"fleet": {"speedup": 30.0, "wall_sec": 1.3}},
+        )
+        assert not errors
+        assert {row["status"] for row in rows} == {"ok"}
+
+    def test_throughput_regression_fails(self, tmp_path):
+        rows, _ = self.run(
+            tmp_path,
+            {"fleet": {"speedup": 40.0}},
+            {"fleet": {"speedup": 20.0}},
+        )
+        assert rows[0]["status"] == "regression"
+
+    def test_wall_time_regression_fails(self, tmp_path):
+        rows, _ = self.run(
+            tmp_path,
+            {"fleet": {"wall_sec": 1.0}},
+            {"fleet": {"wall_sec": 1.5}},
+        )
+        assert rows[0]["status"] == "regression"
+
+    def test_improvements_always_pass(self, tmp_path):
+        rows, _ = self.run(
+            tmp_path,
+            {"fleet": {"speedup": 10.0, "wall_sec": 2.0}},
+            {"fleet": {"speedup": 100.0, "wall_sec": 0.1}},
+        )
+        assert all(row["status"] == "ok" for row in rows)
+        assert all(row["change"] > 0 for row in rows)
+
+    def test_absolute_metrics_get_extra_slack(self, tmp_path):
+        baseline = {"fleet": {"cycles_per_sec": 100.0}}
+        current = {"fleet": {"cycles_per_sec": 50.0}}
+        strict, _ = self.run(tmp_path, baseline, current, 0.35, 1.0)
+        slack, _ = self.run(tmp_path, baseline, current, 0.35, 2.0)
+        assert strict[0]["status"] == "regression"
+        assert slack[0]["status"] == "ok"
+
+    def test_missing_metric_fails(self, tmp_path):
+        rows, _ = self.run(
+            tmp_path,
+            {"fleet": {"speedup": 40.0}},
+            {"fleet": {}},
+        )
+        assert rows[0]["status"] == "missing"
+
+    def test_new_metric_is_reported_not_failed(self, tmp_path):
+        rows, _ = self.run(
+            tmp_path,
+            {"fleet": {"speedup": 40.0}},
+            {"fleet": {"speedup": 40.0}, "fleet_batched": {"speedup": 99.0}},
+        )
+        statuses = {row["metric"]: row["status"] for row in rows}
+        assert statuses["fleet.speedup"] == "ok"
+        assert statuses["fleet_batched.speedup"] == "new"
+
+    def test_missing_regenerated_file_errors(self, tmp_path):
+        write_bench(tmp_path / "base", "BENCH_x.json", {"a": {"speedup": 1.0}})
+        (tmp_path / "cur").mkdir()
+        _rows, errors = check_bench.run_gate(
+            tmp_path / "base", tmp_path / "cur", 0.35, 1.0
+        )
+        assert errors and "not regenerated" in errors[0]
+
+    def test_empty_baseline_dir_errors(self, tmp_path):
+        (tmp_path / "base").mkdir()
+        (tmp_path / "cur").mkdir()
+        _rows, errors = check_bench.run_gate(
+            tmp_path / "base", tmp_path / "cur", 0.35, 1.0
+        )
+        assert errors
+
+    def test_informational_keys_are_not_gated(self, tmp_path):
+        rows, _ = self.run(
+            tmp_path,
+            {"fleet": {"devices": 8, "design": "IP_B"}},
+            {"fleet": {"devices": 4, "design": "IP_A"}},
+        )
+        assert rows == []
+
+
+class TestMainEntry:
+    def test_exit_codes_and_report(self, tmp_path, monkeypatch, capsys):
+        write_bench(tmp_path / "base", "BENCH_x.json", {"a": {"speedup": 10.0}})
+        write_bench(tmp_path / "cur", "BENCH_x.json", {"a": {"speedup": 10.0}})
+        summary = tmp_path / "summary.md"
+        summary.touch()
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        report = tmp_path / "report.md"
+        code = check_bench.main(
+            [
+                "--baseline", str(tmp_path / "base"),
+                "--current", str(tmp_path / "cur"),
+                "--report", str(report),
+            ]
+        )
+        assert code == 0
+        assert "Benchmark regression gate" in report.read_text()
+        assert "Benchmark regression gate" in summary.read_text()
+
+        write_bench(tmp_path / "cur", "BENCH_x.json", {"a": {"speedup": 1.0}})
+        code = check_bench.main(
+            [
+                "--baseline", str(tmp_path / "base"),
+                "--current", str(tmp_path / "cur"),
+            ]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_tolerance_flag(self, tmp_path):
+        write_bench(tmp_path / "base", "BENCH_x.json", {"a": {"speedup": 10.0}})
+        write_bench(tmp_path / "cur", "BENCH_x.json", {"a": {"speedup": 6.0}})
+        args = [
+            "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "cur"),
+        ]
+        assert check_bench.main(args + ["--tolerance", "0.5"]) == 0
+        assert check_bench.main(args + ["--tolerance", "0.2"]) == 1
