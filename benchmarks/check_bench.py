@@ -28,7 +28,19 @@ an accident.
 Exit status is 0 when everything holds, 1 on any regression.  A
 markdown summary is written to ``--report`` and appended to
 ``$GITHUB_STEP_SUMMARY`` when that variable is set (i.e. under GitHub
-Actions).
+Actions).  Metrics present only in the fresh results are never
+failures, but they are called out explicitly in a "newly tracked
+metrics" section so a PR that adds a benchmark shows its new gate
+entries instead of landing them silently.
+
+``--update-baseline`` turns the gate into an *acceptance* run: every
+``BENCH_*.json`` in ``--current`` is copied over its counterpart in
+``--baseline`` (new files included), the report lists what was
+rewritten, and regressions no longer fail the run — they have been
+accepted on purpose and are now the baseline to beat.  This is how a
+PR that legitimately shifts perf updates the committed numbers:
+regenerate the benches, run the gate with ``--update-baseline``
+pointing at the checked-in files, commit the diff.
 
 Usage (mirrors the ``campaign-bench-smoke`` CI job)::
 
@@ -44,7 +56,7 @@ import json
 import os
 import sys
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 #: Default relative regression tolerance (35%), per the quality gate.
 DEFAULT_TOLERANCE = 0.35
@@ -142,7 +154,12 @@ def compare_file(
     return rows
 
 
-def render_report(rows: List[dict], tolerance: float, absolute_slack: float) -> str:
+def render_report(
+    rows: List[dict],
+    tolerance: float,
+    absolute_slack: float,
+    updated: Optional[List[str]] = None,
+) -> str:
     """Markdown summary table for humans and $GITHUB_STEP_SUMMARY."""
     icons = {"ok": "✅", "regression": "❌", "missing": "❌", "new": "🆕"}
     lines = [
@@ -163,7 +180,10 @@ def render_report(rows: List[dict], tolerance: float, absolute_slack: float) -> 
             return f"{value:,.0f}"
         return f"{value:.4g}"
 
-    for row in sorted(rows, key=lambda r: (r["status"] == "ok", r["file"], r["metric"])):
+    def ordering(row: dict) -> tuple:
+        return (row["status"] == "ok", row["file"], row["metric"])
+
+    for row in sorted(rows, key=ordering):
         change = (
             "—" if row["change"] is None else f"{row['change']:+.1%}"
         )
@@ -172,8 +192,14 @@ def render_report(rows: List[dict], tolerance: float, absolute_slack: float) -> 
             f"| {fmt(row['baseline'])} | {fmt(row['current'])} | {change} |"
         )
     failures = [r for r in rows if r["status"] in ("regression", "missing")]
+    new_rows = [r for r in rows if r["status"] == "new"]
     lines.append("")
-    if failures:
+    if failures and updated:
+        lines.append(
+            f"**{len(failures)} regressed metric(s) accepted** — the "
+            "rewritten baseline below makes the current numbers the gate."
+        )
+    elif failures:
         lines.append(
             f"**{len(failures)} metric(s) regressed or disappeared** — "
             "fix the regression or update the checked-in baseline on purpose."
@@ -181,6 +207,19 @@ def render_report(rows: List[dict], tolerance: float, absolute_slack: float) -> 
     else:
         gated = sum(1 for r in rows if r["status"] == "ok")
         lines.append(f"All {gated} gated metrics within tolerance.")
+    if new_rows:
+        listed = ", ".join(sorted(f"`{r['file']}:{r['metric']}`" for r in new_rows))
+        lines.append("")
+        lines.append(
+            f"**{len(new_rows)} newly tracked metric(s):** {listed} — "
+            "not gated yet; they join the gate once the baseline is updated."
+        )
+    if updated:
+        lines.append("")
+        lines.append(
+            f"**Baseline updated in place:** {', '.join(sorted(updated))} — "
+            "commit the rewritten files to make these numbers the new gate."
+        )
     return "\n".join(lines) + "\n"
 
 
@@ -217,6 +256,21 @@ def run_gate(
     return rows, errors
 
 
+def update_baselines(baseline_dir: Path, current_dir: Path) -> List[str]:
+    """Rewrite the baseline ``BENCH_*.json`` files from ``current_dir``.
+
+    Every benchmark file present in ``current_dir`` — including files
+    with no baseline counterpart yet — is copied byte-for-byte over
+    its baseline path.  Returns the sorted names of rewritten files.
+    """
+    updated: List[str] = []
+    for current_path in sorted(current_dir.glob("BENCH_*.json")):
+        target = baseline_dir / current_path.name
+        target.write_bytes(current_path.read_bytes())
+        updated.append(current_path.name)
+    return updated
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -251,12 +305,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="write the markdown summary to this path",
     )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the --baseline BENCH_*.json files in place from "
+        "--current (accepting any regressions) instead of failing on them",
+    )
     args = parser.parse_args(argv)
 
     rows, errors = run_gate(
         args.baseline, args.current, args.tolerance, args.absolute_slack
     )
-    report = render_report(rows, args.tolerance, args.absolute_slack)
+    updated: List[str] = []
+    if args.update_baseline and not errors:
+        updated = update_baselines(args.baseline, args.current)
+    report = render_report(
+        rows, args.tolerance, args.absolute_slack, updated=updated
+    )
     if errors:
         report += "\n### Gate errors\n\n" + "\n".join(f"- {e}" for e in errors) + "\n"
     print(report)
@@ -268,7 +333,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             handle.write(report)
 
     failures = [r for r in rows if r["status"] in ("regression", "missing")]
-    if failures or errors:
+    if (failures and not args.update_baseline) or errors:
         for row in failures:
             print(
                 f"FAIL {row['file']} {row['metric']}: "

@@ -15,8 +15,6 @@ scheme, and what does the defender see?
   Hamming-neighbour keys.
 """
 
-import numpy as np
-import pytest
 
 from repro.acquisition.bench import acquire_traces
 from repro.acquisition.device import Device

@@ -6,7 +6,6 @@ netlist construction, one-period cycle-accurate simulation, and
 deterministic-waveform synthesis.
 """
 
-import numpy as np
 
 from repro.experiments.designs import (
     EXPECTED_MATCHES,

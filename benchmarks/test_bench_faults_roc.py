@@ -59,7 +59,9 @@ def test_bench_fault_injection(benchmark, matching_sets, capsys):
         )[0],
     }
     results = benchmark.pedantic(
-        lambda: {label: mean_rho(t_ref, fault(t_dut)) for label, fault in faults.items()},
+        lambda: {
+            label: mean_rho(t_ref, fault(t_dut)) for label, fault in faults.items()
+        },
         rounds=1,
         iterations=1,
     )

@@ -42,7 +42,9 @@ def test_figure4_panels_and_shape(benchmark, campaign, capsys):
 
 
 def test_figure4_cluster_statistics(benchmark, campaign, capsys):
-    benchmark.pedantic(campaign.correlation_sets, args=("IP_A",), rounds=1, iterations=1)
+    benchmark.pedantic(
+        campaign.correlation_sets, args=("IP_A",), rounds=1, iterations=1
+    )
     print("\n=== Fig. 4 cluster statistics (mean / spread per DUT) ===")
     for ref in REF_ORDER:
         panel_sets = campaign.correlation_sets(ref)

@@ -73,6 +73,11 @@ def test_gain_offset_do_not_move_correlation(benchmark, outcomes):
     none = outcomes["none (single FPGA)"]
     default = outcomes["default CMOS variation"]
     for ref in ("IP_A", "IP_B", "IP_C", "IP_D"):
-        match = {"IP_A": "DUT#1", "IP_B": "DUT#2", "IP_C": "DUT#3", "IP_D": "DUT#4"}[ref]
+        match = {
+            "IP_A": "DUT#1",
+            "IP_B": "DUT#2",
+            "IP_C": "DUT#3",
+            "IP_D": "DUT#4",
+        }[ref]
         delta = abs(none.means[ref][match] - default.means[ref][match])
         assert delta < 0.05

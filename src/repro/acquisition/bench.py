@@ -93,7 +93,9 @@ class MeasurementBench:
         self.key = key
         self._cache: Dict[str, TraceSet] = {}
 
-    def device_rng(self, device: Device, n_cycles: Optional[int] = None) -> np.random.Generator:
+    def device_rng(
+        self, device: Device, n_cycles: Optional[int] = None
+    ) -> np.random.Generator:
         """The keyed per-device generator (requires ``key`` mode)."""
         if self.key is None:
             raise ValueError("device_rng needs a keyed bench (key=...)")
@@ -140,17 +142,25 @@ class MeasurementBench:
         devices: Iterable[Device],
         n_traces: int,
         n_cycles: Optional[int] = None,
+        pool=None,
     ) -> Dict[str, TraceSet]:
         """Acquire the same number of traces on several devices.
 
         The fleet's switching activity is primed first
         (:func:`~repro.acquisition.device.prime_fleet_activity`): all
         devices sharing a netlist shape simulate in one batched engine
-        execution instead of one scalar run each.  Acquired bytes are
-        unchanged — batching only fills the activity caches faster.
+        execution instead of one scalar run each.  ``pool`` optionally
+        routes that priming through a shared
+        :class:`~repro.hdl.batch_pool.BatchPool`, so lanes other
+        callers already submitted batch together with this fleet's;
+        the pool is flushed before acquisition starts.  Acquired bytes
+        are unchanged either way — batching only fills the activity
+        caches faster.
         """
         devices = list(devices)
-        prime_fleet_activity(devices, n_cycles)
+        prime_fleet_activity(devices, n_cycles, pool=pool)
+        if pool is not None:
+            pool.flush()
         return {
             device.name: self.measure(device, n_traces, n_cycles)
             for device in devices

@@ -78,7 +78,9 @@ def collision_summary(
     )
 
 
-def expected_random_correlation_bound(n_cycles: int, confidence_z: float = 3.0) -> float:
+def expected_random_correlation_bound(
+    n_cycles: int, confidence_z: float = 3.0
+) -> float:
     """Null-model bound: |rho| of two independent series of length l
     stays within ``z / sqrt(l)`` with high probability."""
     if n_cycles < 2:

@@ -100,7 +100,9 @@ def property_p1_numeric(m: int, alphas=(1, 10, 100, 1000, 10_000)) -> bool:
     return decreasing and vanishes
 
 
-def property_p2_numeric(alpha: float, rel_tol: float = 1e-3, m_large: int = 100_000) -> bool:
+def property_p2_numeric(
+    alpha: float, rel_tol: float = 1e-3, m_large: int = 100_000
+) -> bool:
     """P2: f_alpha(m) approaches 1 - ((alpha+1)/alpha) e^{-1/alpha}."""
     limit = reuse_probability_limit(alpha)
     value = reuse_probability(alpha, m_large)

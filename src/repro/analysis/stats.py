@@ -49,7 +49,9 @@ def welch_t_test(a: Sequence[float], b: Sequence[float]) -> Tuple[float, float]:
     return float(result.statistic), float(result.pvalue)
 
 
-def variance_ratio_f_test(a: Sequence[float], b: Sequence[float]) -> Tuple[float, float]:
+def variance_ratio_f_test(
+    a: Sequence[float], b: Sequence[float]
+) -> Tuple[float, float]:
     """F-test of equal variances; returns (F, p-value).
 
     The paper's variance distinguisher implicitly relies on the match
@@ -71,7 +73,9 @@ def variance_ratio_f_test(a: Sequence[float], b: Sequence[float]) -> Tuple[float
     return f, p
 
 
-def binomial_confidence(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
+def binomial_confidence(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
     """Wilson score interval for a success proportion."""
     if trials <= 0:
         raise ValueError("trials must be positive")

@@ -18,12 +18,12 @@ margin between the right key and the best wrong key.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
 from repro.acquisition.traces import TraceSet
-from repro.fsm.watermark import fold_to_sbox_width, leakage_sequence
+from repro.fsm.watermark import leakage_sequence
 from repro.hdl.wires import hamming_distance
 
 

@@ -28,10 +28,12 @@ from repro.hdl.combinational import LookupLogic
 from repro.hdl.io import OutputPort
 from repro.hdl.netlist import Netlist
 from repro.hdl.register import DRegister
-from repro.hdl.wires import Wire, mask
+from repro.hdl.wires import mask
 
 
-def pn_sequence(length: int, seed: int, width: int = 16, taps=(0, 2, 3, 5)) -> List[int]:
+def pn_sequence(
+    length: int, seed: int, width: int = 16, taps=(0, 2, 3, 5)
+) -> List[int]:
     """PN bit sequence from a Fibonacci LFSR (one output bit per cycle)."""
     if length <= 0:
         raise ValueError("length must be positive")
@@ -73,7 +75,9 @@ def attach_pn_leakage(
         return (value >> 1) | (feedback << (width - 1))
 
     netlist.add(
-        LookupLogic(f"{prefix}_lfsr", (state,), next_state, lfsr_step, glitch_factor=0.2)
+        LookupLogic(
+            f"{prefix}_lfsr", (state,), next_state, lfsr_step, glitch_factor=0.2
+        )
     )
     register = DRegister(f"{prefix}_reg", next_state, state, reset_value=seed)
     netlist.add(register)
@@ -132,7 +136,11 @@ class BeckerDetector:
         n_average: Optional[int] = None,
     ) -> PNDetection:
         """Average traces and correlate with the PN pattern."""
-        count = traces.n_traces if n_average is None else min(n_average, traces.n_traces)
+        count = (
+            traces.n_traces
+            if n_average is None
+            else min(n_average, traces.n_traces)
+        )
         averaged = traces.matrix[:count].mean(axis=0)
         if averaged.size % samples_per_cycle != 0:
             raise ValueError("trace length is not a multiple of samples_per_cycle")

@@ -57,7 +57,11 @@ def embed_output_mark(
     def transition(state: State, symbol: Symbol) -> State:
         if state in original_states:
             if state == machine.initial_state and symbol == mark.trigger[0]:
-                return chain_states[0] if len(chain_states) > 1 else _landing(state, symbol)
+                return (
+                    chain_states[0]
+                    if len(chain_states) > 1
+                    else _landing(state, symbol)
+                )
             return machine.step(state, symbol)[0]
         index = chain_states.index(state)
         if index + 1 < len(mark.trigger) and symbol == mark.trigger[index + 1]:

@@ -15,7 +15,7 @@ measure what that buys:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, List, Sequence, Tuple
+from typing import Hashable, List, Tuple
 
 from repro.fsm.machine import MealyMachine
 

@@ -22,11 +22,16 @@ pairs over campaign-config paths (``noise.sigma``, ``parameters.n2``,
 ``adc.bits``, ``watermarked``, ``attack``, ...); values are parsed as
 JSON scalars.  Without ``--axis`` a default 24-scenario surface (noise
 x trace budget x attack) is swept at a reduced, fast parameter point.
-``--share-artifacts`` reuses manufactured fleets and acquired trace
-matrices across scenarios whose fleet/measurement tiers agree
-(byte-identical results, order-of-magnitude faster analysis-axis
-grids); ``--artifact-cache DIR`` adds an on-disk tier shared by all
-workers and runs.
+``--share-artifacts`` reuses manufactured fleets, acquired trace
+matrices and whole memoised campaign outcomes across scenarios whose
+config tiers agree (byte-identical results, order-of-magnitude faster
+analysis-axis grids and repeat studies); ``--artifact-cache DIR`` adds
+an on-disk tier shared by all workers and runs.  The cross-campaign
+batch pool is on by default (``--no-batch-pool`` disables it):
+scenario fleets' netlist simulations are collected and executed in
+shared shape-grouped engine batches that span scenario boundaries,
+with flush budgets tunable via ``--pool-lanes`` / ``--pool-bytes`` —
+store bytes are identical with the pool on or off.
 """
 
 from __future__ import annotations
@@ -274,6 +279,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         from repro.experiments.artifacts import ArtifactOptions
 
         artifacts = ArtifactOptions(root=args.artifact_cache)
+    pool = None
+    if not args.batch_pool and (
+        args.pool_lanes is not None or args.pool_bytes is not None
+    ):
+        raise SystemExit(
+            "error: --pool-lanes/--pool-bytes tune the batch pool and "
+            "cannot be combined with --no-batch-pool"
+        )
+    if args.batch_pool:
+        from repro.hdl.batch_pool import BatchPoolOptions
+
+        pool_kwargs = {}
+        if args.pool_lanes is not None:
+            pool_kwargs["max_lanes"] = args.pool_lanes
+        if args.pool_bytes is not None:
+            pool_kwargs["max_bytes"] = args.pool_bytes
+        try:
+            pool = BatchPoolOptions(**pool_kwargs)
+        except ValueError as error:
+            raise SystemExit(f"error: invalid pool budget: {error}")
     print(
         f"sweep {spec.name!r}: {len(scenarios)} scenarios "
         f"({len(spec.grid)} grid axes"
@@ -285,8 +310,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             if artifacts is not None
             else ""
         )
+        + (", batch pool" if pool is not None else ", no batch pool")
     )
-    report = run_sweep(spec, store, n_workers=workers, artifacts=artifacts)
+    report = run_sweep(
+        spec, store, n_workers=workers, artifacts=artifacts, pool=pool
+    )
     print(
         f"executed {report.n_executed}, "
         f"reused {report.n_cached} already in store"
@@ -388,6 +416,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="on-disk artifact tier shared by all workers and runs "
         "(implies --share-artifacts)",
+    )
+    sweep.add_argument(
+        "--batch-pool",
+        dest="batch_pool",
+        action="store_true",
+        default=True,
+        help="pool scenario fleets' netlist simulations into shared "
+        "cross-campaign engine batches (default: on; byte-identical "
+        "results either way)",
+    )
+    sweep.add_argument(
+        "--no-batch-pool",
+        dest="batch_pool",
+        action="store_false",
+        help="run every scenario's simulations through its own "
+        "per-campaign batches (the pre-pool executor path)",
+    )
+    sweep.add_argument(
+        "--pool-lanes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="flush the batch pool once N simulation requests are "
+        "pending (default: library default)",
+    )
+    sweep.add_argument(
+        "--pool-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="flush the batch pool once the pending requests' estimated "
+        "value tensors exceed BYTES (default: library default)",
     )
     sweep.add_argument("--name", default="sweep", help="sweep name")
     sweep.add_argument(

@@ -76,7 +76,9 @@ def alpha_for_target_probability(p_target: float) -> float:
     return high
 
 
-def minimal_m_near_limit(alpha: float, rel_tol: float = 0.05, m_max: int = 10_000) -> int:
+def minimal_m_near_limit(
+    alpha: float, rel_tol: float = 0.05, m_max: int = 10_000
+) -> int:
     """Smallest m with ``f_alpha(m)`` within ``rel_tol`` of its limit.
 
     The paper's Fig. 5 reads this off graphically (m >= 17 for

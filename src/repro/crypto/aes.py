@@ -102,7 +102,9 @@ def inv_shift_rows(state: List[int]) -> List[int]:
     return _from_rows(shifted)
 
 
-def _mix_single_column(column: Sequence[int], matrix: Sequence[Sequence[int]]) -> List[int]:
+def _mix_single_column(
+    column: Sequence[int], matrix: Sequence[Sequence[int]]
+) -> List[int]:
     """Multiply one state column by a 4x4 GF(2^8) matrix."""
     mixed = []
     for row in matrix:

@@ -10,7 +10,7 @@ the 16 correlation sets with all distinguisher verdicts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -152,6 +152,19 @@ def manufacture_fleet(cfg: CampaignConfig):
     )
 
 
+def build_campaign_fleet(cfg: CampaignConfig, fleet_tag: str = "none"):
+    """Manufacture a campaign's fleet and apply its DUT transform.
+
+    This is the one canonical way a ``(config, fleet_tag)`` pair
+    becomes silicon — :func:`run_campaign` and the sweep executor's
+    batch-pool prefetch both use it, so a prefetched fleet is
+    guaranteed to be the same fleet the campaign would build itself.
+    """
+    refds, duts = manufacture_fleet(cfg)
+    apply_fleet_transform(duts, fleet_tag)
+    return refds, duts
+
+
 def apply_config_overrides(
     config: CampaignConfig, overrides: Mapping[str, object]
 ) -> CampaignConfig:
@@ -213,6 +226,7 @@ def run_campaign(
     fleet=None,
     artifacts: Optional[ArtifactCache] = None,
     fleet_tag: str = "none",
+    batch_pool=None,
 ) -> CampaignOutcome:
     """Run the paper's full 4x4 verification campaign.
 
@@ -229,44 +243,61 @@ def run_campaign(
     fleets and trace matrices across calls byte-identically to this
     unshared path; ``fleet_tag`` names the DUT transform the fleet
     carries (the sweep ``attack`` axis) so tampered artifacts never
-    alias pristine ones.
+    alias pristine ones.  With ``artifacts``, whole campaign outcomes
+    are additionally memoised on the config's *analysis key*: a repeat
+    call with an equal key returns the stored outcome without touching
+    the fleet, the bench or any batch pool (equal keys guarantee
+    byte-identical outcomes, so a memo hit is unobservable downstream).
+
+    ``batch_pool`` routes the fleet's activity priming through a shared
+    :class:`~repro.hdl.batch_pool.BatchPool`, so simulation lanes this
+    campaign needs batch together with lanes other campaigns already
+    submitted; the pool is flushed before acquisition starts.
     """
     cfg = config if config is not None else CampaignConfig()
+    if fleet is not None and artifacts is not None:
+        # The trace cache keys on (config, fleet_tag) alone, so an
+        # arbitrary caller-supplied fleet could poison it (or be
+        # served traces of a different fleet).  Only a fleet that
+        # came out of this cache for the same keys is provably
+        # consistent.  Checked before the outcome memo so a foreign
+        # fleet fails loudly even when a memoised outcome exists.
+        try:
+            cached = artifacts.fleet(cfg, fleet_tag)
+        except KeyError:
+            cached = None
+        if cached is not fleet:
+            raise ValueError(
+                "run_campaign: an explicit fleet= can only be combined "
+                "with artifacts= when it was obtained from "
+                "artifacts.fleet(config, fleet_tag); pass fleet_tag "
+                "and let run_campaign manufacture it instead"
+            )
+    if artifacts is not None:
+        memoised = artifacts.outcome(cfg, fleet_tag)
+        if memoised is not None:
+            return memoised
     if fleet is not None:
-        if artifacts is not None:
-            # The trace cache keys on (config, fleet_tag) alone, so an
-            # arbitrary caller-supplied fleet could poison it (or be
-            # served traces of a different fleet).  Only a fleet that
-            # came out of this cache for the same keys is provably
-            # consistent.
-            try:
-                cached = artifacts.fleet(cfg, fleet_tag)
-            except KeyError:
-                cached = None
-            if cached is not fleet:
-                raise ValueError(
-                    "run_campaign: an explicit fleet= can only be combined "
-                    "with artifacts= when it was obtained from "
-                    "artifacts.fleet(config, fleet_tag); pass fleet_tag "
-                    "and let run_campaign manufacture it instead"
-                )
         refds, duts = fleet
     else:
-        def build_fleet():
-            built_refds, built_duts = manufacture_fleet(cfg)
-            apply_fleet_transform(built_duts, fleet_tag)
-            return built_refds, built_duts
-
         if artifacts is not None:
-            refds, duts = artifacts.fleet(cfg, fleet_tag, build_fleet)
+            refds, duts = artifacts.fleet(
+                cfg, fleet_tag, lambda: build_campaign_fleet(cfg, fleet_tag)
+            )
         else:
-            refds, duts = build_fleet()
+            refds, duts = build_campaign_fleet(cfg, fleet_tag)
     # Batched activity priming: the fleet's distinct netlists simulate
     # grouped by shape in one vectorised engine run each, instead of
     # lazily one at a time when the first waveform is rendered.  Cached
     # fleets skip this in O(devices) dict lookups; trace bytes are
-    # unchanged either way (the engine's batching invariant).
-    prime_fleet_activity((*refds.values(), *duts.values()))
+    # unchanged either way (the engine's batching invariant).  With a
+    # batch pool the lanes are deferred instead and flushed together
+    # with whatever other campaigns submitted.
+    prime_fleet_activity(
+        (*refds.values(), *duts.values()), pool=batch_pool
+    )
+    if batch_pool is not None:
+        batch_pool.flush()
     p = cfg.parameters
     if artifacts is not None:
         def measure(device, n_traces):
@@ -288,7 +319,10 @@ def run_campaign(
     for ref_name in REF_ORDER:
         t_ref = measure(refds[ref_name], p.n1)
         reports[ref_name] = verifier.identify(t_ref, t_duts, rng=analysis_rng)
-    return CampaignOutcome(config=cfg, reports=reports)
+    outcome = CampaignOutcome(config=cfg, reports=reports)
+    if artifacts is not None:
+        artifacts.remember_outcome(cfg, fleet_tag, outcome)
+    return outcome
 
 
 def repeated_accuracy(
@@ -332,6 +366,7 @@ __all__ = [
     "CampaignConfig",
     "CampaignOutcome",
     "apply_config_overrides",
+    "build_campaign_fleet",
     "manufacture_fleet",
     "run_campaign",
     "repeated_accuracy",

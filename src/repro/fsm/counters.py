@@ -90,7 +90,9 @@ def lfsr_machine(width: int, taps: List[int], seed: int = 1) -> MooreMachine:
     return MooreMachine(ordered, transitions, seed, outputs)
 
 
-def build_binary_counter(netlist: Netlist, width: int, prefix: str = "ctr") -> DRegister:
+def build_binary_counter(
+    netlist: Netlist, width: int, prefix: str = "ctr"
+) -> DRegister:
     """Add an incrementing binary counter to ``netlist``.
 
     Returns the state register; its Q wire (named ``{prefix}_state``)

@@ -563,7 +563,8 @@ class _Lowering:
         if kind is Mux2:
             return [
                 f"{w(self.wire_index(component.output))} = "
-                f"{w(self.wire_index(component.b))} if {w(self.wire_index(component.select))} "
+                f"{w(self.wire_index(component.b))} "
+                f"if {w(self.wire_index(component.select))} "
                 f"else {w(self.wire_index(component.a))}"
             ]
         if kind is LookupLogic:

@@ -84,7 +84,8 @@ def _emit_rom(component: SyncROM) -> List[str]:
     lines = [f"  always @(*) begin // {component.name} (ROM)", f"    case ({address})"]
     for index, word in enumerate(component.contents):
         lines.append(
-            f"      {addr_width}'d{index}: {data} = {data_width}'h{word:0{(data_width + 3) // 4}x};"
+            f"      {addr_width}'d{index}: {data} = "
+            f"{data_width}'h{word:0{(data_width + 3) // 4}x};"
         )
     lines.append(f"      default: {data} = {data_width}'d0;")
     lines.append("    endcase")
@@ -197,7 +198,8 @@ def export_verilog(netlist: Netlist, module_name: str = None) -> str:
         )
     for port in output_ports:
         port_decls.append(
-            f"  output wire {_range(port.source.width)}{_identifier(port.name + '_out')}"
+            f"  output wire {_range(port.source.width)}"
+            f"{_identifier(port.name + '_out')}"
         )
     lines.append(",\n".join(port_decls))
     lines.append(");")

@@ -19,10 +19,29 @@ Artifact sharing: passing ``artifacts=``
 worker a process-wide :class:`~repro.experiments.artifacts.ArtifactCache`,
 so scenarios that differ only in analysis-side axes reuse one fleet
 manufacture and one trace acquisition — byte-identically, because
-acquisition streams are keyed per device, never sequential.  An
-options ``root`` adds a shared on-disk tier, which is how *separate
-worker processes* (and separate runs) meet: the first worker to need
-an acquisition persists it, the rest load it.
+acquisition streams are keyed per device, never sequential — and whole
+campaign outcomes are memoised on the analysis key, so a re-run study
+(same scenarios, fresh store) skips re-analysis entirely.  An options
+``root`` adds a shared on-disk tier, which is how *separate worker
+processes* (and separate runs) meet: the first worker to need an
+artifact persists it, the rest load it.
+
+Cross-campaign batching: passing ``pool=``
+:class:`~repro.hdl.batch_pool.BatchPoolOptions` routes every
+scenario's netlist simulation through one shared
+:class:`~repro.hdl.batch_pool.BatchPool`.  Before campaigns run, the
+executor *prefetches* in bounded windows: it builds (or fetches from
+the artifact cache) each window scenario's fleet and submits its
+distinct ``(structure, cycles)`` activity entries to the pool; one
+flush then executes lanes from all those scenarios grouped by netlist
+shape — scenarios batch across, not just within, campaigns, while
+peak memory stays bounded by one window's fleets.  Inline mode holds
+one pool across the whole sweep; multiprocess mode holds one per
+worker chunk.  Scenarios whose campaign outcome is already memoised
+are skipped by the prefetch — a memoised campaign never consults the
+pool.  Pooling is pure execution strategy: store digests are
+byte-identical with the pool on or off, for any worker count, window
+or flush budget.
 
 Chunking walks the expansion order, which groups scenarios that share
 a fleet structure; inside one worker chunk the process-wide activity,
@@ -35,20 +54,35 @@ from __future__ import annotations
 import multiprocessing
 import os
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.experiments.artifacts import (
     ArtifactCache,
     ArtifactOptions,
     process_artifact_cache,
 )
+from repro.acquisition.device import prime_fleet_activity
+from repro.experiments.runner import build_campaign_fleet
+from repro.hdl.batch_pool import BatchPool, BatchPoolOptions
 from repro.sweeps.scenario import run_scenario
-from repro.sweeps.spec import Scenario, SweepSpec, expand_scenarios
+from repro.sweeps.spec import (
+    Scenario,
+    SweepSpec,
+    expand_scenarios,
+    scenario_config,
+)
 from repro.sweeps.store import SweepStore
 
 #: Chunks per worker the pending list is split into (larger = better
 #: load balancing, smaller = better cache locality inside a chunk).
 CHUNKS_PER_WORKER = 4
+
+#: Scenarios prefetched into the batch pool per window when no
+#: artifact cache bounds fleet lifetimes (with one, the window is the
+#: cache's ``max_fleets`` instead).  Bounds peak memory: at most this
+#: many manufactured fleets are alive before their scenarios execute,
+#: while one window still spans enough campaigns to fill wide batches.
+POOL_PREFETCH_WINDOW = 8
 
 
 @dataclass
@@ -75,26 +109,109 @@ class SweepReport:
         return len(self.cached_ids)
 
 
-def _execute_into_store(
+def _prefetch_into_pool(
+    scenarios: Sequence[Scenario],
+    artifacts: Optional[ArtifactCache],
+    pool: BatchPool,
+) -> dict:
+    """Build every scenario's fleet and submit its simulation lanes.
+
+    Returns ``{scenario_id: fleet}`` for fleets the artifact cache does
+    *not* own (no ``artifacts``) so the execution loop can hand them
+    straight to :func:`~repro.sweeps.scenario.run_scenario`; cached
+    fleets stay in the artifact cache (the campaign fetches them back
+    by key, which stays correct even if the fleet LRU evicts one in
+    between — callers size their windows so eviction is the exception,
+    not the rule).  Scenarios with a memoised campaign outcome are
+    skipped entirely: a memoised campaign must not consult the pool.
+
+    The pool's lane/byte budgets still apply — a prefetch larger than
+    one flush budget simply flushes mid-walk, which moves batch
+    boundaries but never changes a byte of any trace.
+    """
+    fleets: dict = {}
+    for scenario in scenarios:
+        config = scenario_config(scenario)
+        attack = scenario.attack
+        if artifacts is not None and artifacts.has_outcome(config, attack):
+            continue
+        if artifacts is not None:
+            refds, duts = artifacts.fleet(
+                config,
+                attack,
+                lambda config=config, attack=attack: build_campaign_fleet(
+                    config, attack
+                ),
+            )
+        else:
+            refds, duts = build_campaign_fleet(config, attack)
+            fleets[scenario.scenario_id] = (refds, duts)
+        prime_fleet_activity((*refds.values(), *duts.values()), pool=pool)
+    pool.flush()
+    return fleets
+
+
+def _run_scenarios(
     store_root: str,
-    scenario: Scenario,
+    scenarios: Sequence[Scenario],
     artifacts: Optional[ArtifactCache] = None,
-) -> str:
-    """Run one scenario and persist it; returns the scenario id."""
-    result = run_scenario(scenario, artifacts=artifacts)
-    SweepStore(store_root).put(
-        scenario.scenario_id, result["record"], result["arrays"]
-    )
-    return scenario.scenario_id
+    pool_options: Optional[BatchPoolOptions] = None,
+    progress: Optional[Callable[[str, bool], None]] = None,
+) -> List[str]:
+    """Execute a batch of scenarios into the store; returns their ids.
+
+    This is the one execution body shared by the inline path (all
+    pending scenarios — one pool spans the whole sweep) and by each
+    multiprocess worker (its chunk — one pool spans the chunk).  With
+    a pool, scenarios are prefetched and executed in bounded *windows*
+    so that at most one window's worth of manufactured fleets is ever
+    alive (and, with an artifact cache, a window never overruns the
+    fleet LRU into guaranteed re-manufacture); the pool object itself
+    persists across windows, so its caches and stats span the sweep.
+    """
+    store = SweepStore(store_root)
+    scenarios = list(scenarios)
+    pool: Optional[BatchPool] = None
+    if pool_options is None:
+        window_size = max(len(scenarios), 1)
+    else:
+        pool = BatchPool(pool_options)
+        if artifacts is not None:
+            window_size = max(1, artifacts.options.max_fleets)
+        else:
+            window_size = POOL_PREFETCH_WINDOW
+    executed: List[str] = []
+    for start in range(0, len(scenarios), window_size):
+        window = scenarios[start:start + window_size]
+        fleets: dict = {}
+        if pool is not None:
+            fleets = _prefetch_into_pool(window, artifacts, pool)
+        for scenario in window:
+            result = run_scenario(
+                scenario,
+                artifacts=artifacts,
+                fleet=fleets.pop(scenario.scenario_id, None),
+                batch_pool=pool,
+            )
+            store.put(scenario.scenario_id, result["record"], result["arrays"])
+            executed.append(scenario.scenario_id)
+            if progress is not None:
+                progress(scenario.scenario_id, True)
+    return executed
 
 
 def _pool_worker(
-    payload: Tuple[str, Scenario, Optional[ArtifactOptions]]
-) -> str:
+    payload: Tuple[
+        str,
+        Tuple[Scenario, ...],
+        Optional[ArtifactOptions],
+        Optional[BatchPoolOptions],
+    ]
+) -> List[str]:
     """Module-level pool target (must be picklable on every start method)."""
-    store_root, scenario, options = payload
+    store_root, scenarios, options, pool_options = payload
     artifacts = process_artifact_cache(options) if options is not None else None
-    return _execute_into_store(store_root, scenario, artifacts)
+    return _run_scenarios(store_root, scenarios, artifacts, pool_options)
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -114,16 +231,19 @@ def run_sweep(
     n_workers: int = 1,
     progress: Optional[Callable[[str, bool], None]] = None,
     artifacts: Optional[ArtifactOptions] = None,
+    pool: Optional[BatchPoolOptions] = None,
 ) -> SweepReport:
     """Execute every missing scenario of ``spec`` into ``store``.
 
     ``progress`` (if given) is called as ``progress(scenario_id,
     executed)`` once per scenario — immediately for cache hits, on
-    completion for executed ones.  ``artifacts`` enables cross-scenario
-    artifact sharing (see the module docstring); results are
-    byte-identical with it on or off.  Returns a :class:`SweepReport`;
-    aggregate results are read back from the store (see
-    :mod:`repro.sweeps.aggregate`).
+    completion for executed ones (chunk-batched under multiprocess
+    execution).  ``artifacts`` enables cross-scenario artifact sharing
+    and campaign-outcome memoisation; ``pool`` enables the shared
+    cross-campaign batch pool (see the module docstring) — results are
+    byte-identical with either on or off.  Returns a
+    :class:`SweepReport`; aggregate results are read back from the
+    store (see :mod:`repro.sweeps.aggregate`).
     """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
@@ -148,22 +268,28 @@ def run_sweep(
 
     if n_workers == 1 or len(pending) == 1:
         cache = process_artifact_cache(artifacts) if artifacts is not None else None
-        for scenario in pending:
-            _execute_into_store(store.root, scenario, cache)
-            report.executed_ids.append(scenario.scenario_id)
-            if progress is not None:
-                progress(scenario.scenario_id, True)
+        executed = _run_scenarios(
+            store.root, pending, cache, pool, progress=progress
+        )
+        report.executed_ids.extend(executed)
     else:
         n_procs = min(n_workers, len(pending))
         chunksize = max(1, len(pending) // (n_procs * CHUNKS_PER_WORKER))
-        payloads = [(store.root, scenario, artifacts) for scenario in pending]
-        with _pool_context().Pool(processes=n_procs) as pool:
-            for scenario_id in pool.imap_unordered(
-                _pool_worker, payloads, chunksize=chunksize
+        chunks = [
+            tuple(pending[start:start + chunksize])
+            for start in range(0, len(pending), chunksize)
+        ]
+        payloads = [
+            (store.root, chunk, artifacts, pool) for chunk in chunks
+        ]
+        with _pool_context().Pool(processes=n_procs) as worker_pool:
+            for scenario_ids in worker_pool.imap_unordered(
+                _pool_worker, payloads, chunksize=1
             ):
-                report.executed_ids.append(scenario_id)
+                report.executed_ids.extend(scenario_ids)
                 if progress is not None:
-                    progress(scenario_id, True)
+                    for scenario_id in scenario_ids:
+                        progress(scenario_id, True)
     # Keep reporting deterministic regardless of completion order.
     report.executed_ids.sort()
     return report

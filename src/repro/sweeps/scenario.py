@@ -36,7 +36,10 @@ apply_attack = apply_fleet_transform
 
 
 def run_scenario_campaign(
-    scenario: Scenario, artifacts: Optional[ArtifactCache] = None
+    scenario: Scenario,
+    artifacts: Optional[ArtifactCache] = None,
+    fleet=None,
+    batch_pool=None,
 ) -> CampaignOutcome:
     """Manufacture, attack and measure one scenario's campaign.
 
@@ -47,11 +50,22 @@ def run_scenario_campaign(
     cache, the fleet and every acquired trace matrix are shared across
     scenarios whose fleet/measurement tiers agree — byte-identically
     to the unshared path, because acquisition streams are keyed per
-    device (see :mod:`repro.experiments.artifacts`).
+    device (see :mod:`repro.experiments.artifacts`) — and whole
+    campaign outcomes are memoised on the analysis key.
+
+    ``fleet`` optionally passes a pre-built (already attacked) fleet —
+    the executor's batch-pool prefetch uses it so a scenario does not
+    manufacture twice; ``batch_pool`` routes activity priming through
+    a shared :class:`~repro.hdl.batch_pool.BatchPool` so simulation
+    lanes batch across scenario boundaries.
     """
     config = scenario_config(scenario)
     return run_campaign(
-        config, artifacts=artifacts, fleet_tag=scenario.attack
+        config,
+        fleet=fleet,
+        artifacts=artifacts,
+        fleet_tag=scenario.attack,
+        batch_pool=batch_pool,
     )
 
 
@@ -85,17 +99,24 @@ def outcome_arrays(outcome: CampaignOutcome) -> Dict[str, np.ndarray]:
 
 
 def run_scenario(
-    scenario: Scenario, artifacts: Optional[ArtifactCache] = None
+    scenario: Scenario,
+    artifacts: Optional[ArtifactCache] = None,
+    fleet=None,
+    batch_pool=None,
 ) -> Dict[str, object]:
     """Run one scenario and return its full result payload.
 
     The returned mapping has two parts: ``"record"`` (JSON-able —
     scenario identity, overrides, metrics) and ``"arrays"`` (the raw
     correlation sets for the array bundle).  ``artifacts`` enables
-    cross-scenario fleet/trace sharing without changing a byte of the
-    payload.
+    cross-scenario fleet/trace sharing and campaign-outcome
+    memoisation, ``fleet``/``batch_pool`` plug the scenario into the
+    executor's cross-campaign batch pool — none of them change a byte
+    of the payload.
     """
-    outcome = run_scenario_campaign(scenario, artifacts=artifacts)
+    outcome = run_scenario_campaign(
+        scenario, artifacts=artifacts, fleet=fleet, batch_pool=batch_pool
+    )
     record = {
         "scenario_id": scenario.scenario_id,
         "overrides": dict(scenario.overrides),

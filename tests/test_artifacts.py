@@ -228,12 +228,21 @@ class TestArtifactCache:
         unshared = coefficient_matrix(run_campaign(cfg))
         cache = ArtifactCache()
         cold = coefficient_matrix(run_campaign(cfg, artifacts=cache))
+        # An identical config repeats the whole campaign from the
+        # outcome memo — no fleet or trace tier involved at all.
         warm = coefficient_matrix(run_campaign(cfg, artifacts=cache))
+        assert cache.stats.outcome_hits == 1
+        assert cache.stats.fleet_hits == 0
+        assert cache.stats.trace_hits == 0
+        # A config differing only in an analysis-side knob misses the
+        # outcome memo but shares the fleet and every trace matrix.
+        rotated = dataclasses.replace(cfg, analysis_seed=cfg.analysis_seed + 1)
+        run_campaign(rotated, artifacts=cache)
+        assert cache.stats.fleet_hits == 1
+        assert cache.stats.trace_hits == 8
         for pair, coefficients in unshared.items():
             np.testing.assert_array_equal(coefficients, cold[pair])
             np.testing.assert_array_equal(coefficients, warm[pair])
-        assert cache.stats.fleet_hits == 1
-        assert cache.stats.trace_hits == 8
 
     def test_prefix_reuse_across_ceilings(self):
         cache = ArtifactCache()

@@ -1,6 +1,5 @@
 """Tests for the adversarial-analysis package."""
 
-import numpy as np
 import pytest
 
 from repro.acquisition.bench import acquire_traces
@@ -13,7 +12,6 @@ from repro.attacks.forgery import (
 from repro.attacks.masking import defender_k_escalation, masking_sweep
 from repro.attacks.removal import strip_output_pads_only, strip_watermark
 from repro.core.correlation import pearson
-from repro.core.process import ProcessParameters
 from repro.experiments.designs import KW1, build_paper_ip
 from repro.fsm.encoding import gray_encode
 from repro.hdl.simulator import Simulator

@@ -28,7 +28,6 @@ from repro.fsm.machine import MealyMachine
 from repro.fsm.watermark import WatermarkedIP
 from repro.hdl.netlist import Netlist
 from repro.power.models import PowerModel
-from repro.power.noise import NoiseModel
 
 
 def simple_mealy():

@@ -188,3 +188,73 @@ class TestMainEntry:
         ]
         assert check_bench.main(args + ["--tolerance", "0.5"]) == 0
         assert check_bench.main(args + ["--tolerance", "0.2"]) == 1
+
+
+class TestNewMetricReporting:
+    def test_report_lists_newly_tracked_metrics(self, tmp_path):
+        write_bench(tmp_path / "base", "BENCH_x.json", {"a": {"speedup": 10.0}})
+        write_bench(
+            tmp_path / "cur",
+            "BENCH_x.json",
+            {"a": {"speedup": 10.0}, "pooled": {"speedup": 3.0}},
+        )
+        rows, errors = check_bench.run_gate(
+            tmp_path / "base", tmp_path / "cur", 0.35, 1.0
+        )
+        assert not errors
+        report = check_bench.render_report(rows, 0.35, 1.0)
+        assert "newly tracked metric(s)" in report
+        assert "`BENCH_x.json:pooled.speedup`" in report
+
+    def test_report_without_new_metrics_stays_quiet(self, tmp_path):
+        write_bench(tmp_path / "base", "BENCH_x.json", {"a": {"speedup": 10.0}})
+        write_bench(tmp_path / "cur", "BENCH_x.json", {"a": {"speedup": 10.0}})
+        rows, _ = check_bench.run_gate(
+            tmp_path / "base", tmp_path / "cur", 0.35, 1.0
+        )
+        assert "newly tracked" not in check_bench.render_report(rows, 0.35, 1.0)
+
+
+class TestUpdateBaseline:
+    def args(self, tmp_path):
+        return [
+            "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "cur"),
+        ]
+
+    def test_rewrites_baseline_in_place_and_accepts_regression(self, tmp_path):
+        write_bench(tmp_path / "base", "BENCH_x.json", {"a": {"speedup": 10.0}})
+        write_bench(tmp_path / "cur", "BENCH_x.json", {"a": {"speedup": 2.0}})
+        assert check_bench.main(self.args(tmp_path)) == 1  # plain gate fails
+        report = tmp_path / "report.md"
+        code = check_bench.main(
+            self.args(tmp_path)
+            + ["--update-baseline", "--report", str(report)]
+        )
+        assert code == 0
+        rewritten = json.loads((tmp_path / "base" / "BENCH_x.json").read_text())
+        assert rewritten == {"a": {"speedup": 2.0}}
+        text = report.read_text()
+        assert "Baseline updated in place" in text
+        # The accepted run must not tell the reader to "fix" anything.
+        assert "regressed metric(s) accepted" in text
+        assert "fix the regression" not in text
+        # The accepted numbers are now the gate: a plain run passes.
+        assert check_bench.main(self.args(tmp_path)) == 0
+
+    def test_copies_brand_new_benchmark_files(self, tmp_path):
+        write_bench(tmp_path / "base", "BENCH_x.json", {"a": {"speedup": 10.0}})
+        write_bench(tmp_path / "cur", "BENCH_x.json", {"a": {"speedup": 10.0}})
+        write_bench(tmp_path / "cur", "BENCH_y.json", {"b": {"speedup": 5.0}})
+        updated = check_bench.update_baselines(tmp_path / "base", tmp_path / "cur")
+        assert updated == ["BENCH_x.json", "BENCH_y.json"]
+        assert (tmp_path / "base" / "BENCH_y.json").exists()
+
+    def test_gate_errors_still_fail_under_update(self, tmp_path):
+        # A benchmark file that was not regenerated is an error, not an
+        # acceptable regression: nothing is rewritten and the run fails.
+        write_bench(tmp_path / "base", "BENCH_x.json", {"a": {"speedup": 10.0}})
+        (tmp_path / "cur").mkdir()
+        assert check_bench.main(self.args(tmp_path) + ["--update-baseline"]) == 1
+        unchanged = json.loads((tmp_path / "base" / "BENCH_x.json").read_text())
+        assert unchanged == {"a": {"speedup": 10.0}}

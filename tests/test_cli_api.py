@@ -1,6 +1,5 @@
 """Tests for the CLI, the public API surface and the report module."""
 
-import numpy as np
 import pytest
 
 import repro

@@ -132,7 +132,9 @@ class TestIdentification:
 
 class TestScores:
     def test_mean_score(self):
-        assert HigherMeanDistinguisher().score(np.array([0.2, 0.4])) == pytest.approx(0.3)
+        assert HigherMeanDistinguisher().score(
+            np.array([0.2, 0.4])
+        ) == pytest.approx(0.3)
 
     def test_variance_score(self):
         data = np.array([0.2, 0.4])
@@ -142,7 +144,9 @@ class TestScores:
         assert HigherMedianDistinguisher().score(np.array([0.1, 0.9, 0.5])) == 0.5
 
     def test_minimum_score(self):
-        assert HigherMinimumDistinguisher().score(np.array([0.1, 0.9])) == pytest.approx(0.1)
+        assert HigherMinimumDistinguisher().score(
+            np.array([0.1, 0.9])
+        ) == pytest.approx(0.1)
 
     def test_fisher_z_score_monotone_in_rho(self):
         d = FisherZMeanDistinguisher()

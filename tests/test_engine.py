@@ -167,7 +167,11 @@ class TestComponentZooEquivalence:
         def build(n):
             state = n.wire("st", 3)
             nxt = n.wire("nx", 3)
-            n.add(TransitionTable("tt", state, nxt, {i: (3 * i + 1) % 8 for i in range(8)}))
+            n.add(
+                TransitionTable(
+                    "tt", state, nxt, {i: (3 * i + 1) % 8 for i in range(8)}
+                )
+            )
             n.add(DRegister("reg", nxt, state, reset_value=2))
 
         assert_equivalent(build, 30)

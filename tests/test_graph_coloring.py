@@ -1,7 +1,6 @@
 """Tests for the graph-coloring watermark baseline."""
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.baselines.graph_coloring import (

@@ -5,7 +5,6 @@ import pytest
 from repro.hdl.combinational import Constant, Incrementer, LookupLogic, XorArray
 from repro.hdl.netlist import Netlist, NetlistError
 from repro.hdl.register import DRegister
-from repro.hdl.wires import Wire
 
 
 def make_counter_netlist(width=4):

@@ -5,7 +5,6 @@ n2 = 10 000, k = 50, m = 20 — the paper's exact parameters).
 """
 
 import numpy as np
-import pytest
 
 from repro.experiments.designs import EXPECTED_MATCHES
 from repro.experiments.runner import (

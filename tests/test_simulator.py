@@ -10,7 +10,6 @@ from repro.hdl.io import InputPort
 from repro.hdl.netlist import Netlist
 from repro.hdl.register import DRegister
 from repro.hdl.simulator import Simulator
-from repro.hdl.wires import Wire
 
 
 def binary_counter_netlist(width=8):
