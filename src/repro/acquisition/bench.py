@@ -153,13 +153,15 @@ class MeasurementBench:
         routes that priming through a shared
         :class:`~repro.hdl.batch_pool.BatchPool`, so lanes other
         callers already submitted batch together with this fleet's;
-        the pool is flushed before acquisition starts.  Acquired bytes
-        are unchanged either way — batching only fills the activity
-        caches faster.
+        the pool is flushed before acquisition starts, but only when
+        this fleet's priming left lanes unresolved — an already-primed
+        fleet measures immediately without draining other callers'
+        pending lanes.  Acquired bytes are unchanged either way —
+        batching only fills the activity caches faster.
         """
         devices = list(devices)
-        prime_fleet_activity(devices, n_cycles, pool=pool)
-        if pool is not None:
+        submitted = prime_fleet_activity(devices, n_cycles, pool=pool)
+        if pool is not None and submitted:
             pool.flush()
         return {
             device.name: self.measure(device, n_traces, n_cycles)

@@ -252,7 +252,10 @@ def run_campaign(
     ``batch_pool`` routes the fleet's activity priming through a shared
     :class:`~repro.hdl.batch_pool.BatchPool`, so simulation lanes this
     campaign needs batch together with lanes other campaigns already
-    submitted; the pool is flushed before acquisition starts.
+    submitted; the pool is flushed before acquisition starts, but only
+    when this campaign's priming actually left lanes unresolved — a
+    fleet whose activity a prefetch already flushed measures without
+    forcing other campaigns' pending lanes to drain.
     """
     cfg = config if config is not None else CampaignConfig()
     if fleet is not None and artifacts is not None:
@@ -293,10 +296,10 @@ def run_campaign(
     # unchanged either way (the engine's batching invariant).  With a
     # batch pool the lanes are deferred instead and flushed together
     # with whatever other campaigns submitted.
-    prime_fleet_activity(
+    submitted = prime_fleet_activity(
         (*refds.values(), *duts.values()), pool=batch_pool
     )
-    if batch_pool is not None:
+    if batch_pool is not None and submitted:
         batch_pool.flush()
     p = cfg.parameters
     if artifacts is not None:

@@ -23,6 +23,15 @@ past ``max_bytes`` of estimated recorded-value tensors flushes
 immediately, which bounds the memory of one batched execution no
 matter how many scenarios feed the pool.
 
+Callers decide *when* to drain, and the sweep executor exploits that
+to overlap flushing with acquisition: a prefetch flushes only the
+first scenario's lanes so its campaign starts measuring at once,
+leaves the rest of the wave pending, and the first campaign whose
+priming finds unresolved lanes drains the accumulated wave in one
+cross-campaign flush (see
+:func:`~repro.sweeps.executor._prefetch_into_pool`).  Because batch
+boundaries never change trace bytes, that scheduling freedom is free.
+
 **Invariant — pooling never changes trace bytes.**  The pool is pure
 deferral plus grouping on top of :func:`simulate_batch`, whose results
 are byte-identical to calling ``simulator.run`` in a loop (the

@@ -54,6 +54,24 @@ class Component:
         if not name:
             raise ValueError("component name must be non-empty")
         self.name = name
+        #: Bumped by :meth:`invalidate_compiled` whenever the component
+        #: mutates structure or tables after construction; compiled
+        #: programs check the netlist-wide sum before executing.
+        self._compile_generation = 0
+
+    def invalidate_compiled(self) -> None:
+        """Mark any compiled program derived from this component stale.
+
+        Call after mutating anything a compiled program bakes in
+        (lookup tables, transition entries, reset values, wire
+        connectivity).  Execution through a stale
+        :class:`~repro.hdl.engine.CompiledNetlist` then raises
+        :class:`~repro.hdl.engine.CompileError` instead of silently
+        running the old program; re-compiling (or letting the
+        :class:`~repro.hdl.simulator.Simulator` refresh itself) picks
+        up the new state.
+        """
+        self._compile_generation += 1
 
     @property
     def input_wires(self) -> Sequence[Wire]:

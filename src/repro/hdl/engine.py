@@ -13,19 +13,37 @@ and then executes a flat program:
    unrolled shift/XOR ladder, register capture/commit becomes a block of
    simultaneous assignments.  The statements are assembled in the
    netlist's topological order into one specialised step loop, compiled
-   a single time with :func:`exec`.
-2. **Execution** — the generated runner advances the whole design one
-   clock per iteration, appending one settled wire-value row per cycle.
-   Netlists without input ports are pure functions of their register
-   state, so the runner also memoises rows: as soon as the design
-   re-enters a previously seen state the remaining rows are tiled with
-   NumPy instead of stepped.
-3. **Activity** — switching activity is computed *after* the run as
+   a single time with :func:`exec`.  Lowering also *partitions* the op
+   list for the vectorised tier (:func:`_vector_partition`): the
+   **sequential residue** — registers on feedback cycles, transition
+   tables, ports and every op feeding them — versus the **feed-forward
+   slices** whose inputs are residue wires, peeled pipeline registers
+   or constants, each slice mapped to a cycle-axis numpy kernel.
+2. **Execution, scalar tier** — the generated runner advances the
+   whole design one clock per iteration, appending one settled
+   wire-value row per cycle.  Netlists without input ports are pure
+   functions of their register state, so the runner also memoises
+   rows: as soon as the design re-enters a previously seen state the
+   remaining rows are tiled with NumPy instead of stepped.
+3. **Execution, vectorised tier** — when the kernel plan reconstructs
+   at least one wire, a *reduced* generated loop steps only the
+   sequential residue (typically a handful of ops) and records the
+   core wire columns; every feed-forward wire is then rebuilt for
+   *all* cycles at once by the planned kernels — bitwise ops over
+   ``(cycles,)`` uint64 vectors, ``np.take``-style table gathers,
+   shifted views for peeled registers — writing into the same
+   ``(cycles + 1, n_wires)`` value tensor the scalar tier produces.
+   Memoised long runs step only until state re-entry and tile the
+   activity matrix with period-aligned block copies (periodicity
+   starts ``depth`` cycles after re-entry, where ``depth`` is the
+   longest peeled register chain), so throughput on periodic designs
+   is bounded by memory bandwidth, not the interpreter.
+4. **Activity** — switching activity is computed *after* the run as
    vectorised Hamming weights over the ``(cycles + 1, n_wires)`` value
    matrix, written column-by-column into the ``(cycles, n_channels)``
    activity matrix.  The channel-index map is computed once at compile
    time; no per-cycle objects are allocated.
-4. **Batching** (:func:`run_batch`) — the paper's experiments are
+5. **Batching** (:func:`run_batch`) — the paper's experiments are
    fleet-scale: many device instances of a handful of netlist
    structures.  Lowering therefore also derives a *shape key* — the
    structural fingerprint with every per-device datum (constant values,
@@ -39,15 +57,36 @@ and then executes a flat program:
    batched Hamming weights.  State-cycle memoisation is batch-aware:
    stepping proceeds in chunks and each lane's state re-entry is
    detected independently, so ragged fleets (different cycle counts,
-   different reset states) tile each lane's own period.
+   different reset states) tile each lane's own period.  The kernel
+   plan composes with the batch axis: under ``vectorise="auto"`` the
+   batched loop steps only the sequential residue per cycle and the
+   kernels rebuild every remaining wire for all ``cycles × lanes`` at
+   once.
 
-**Invariant — batching never changes trace bytes.**  The compiled
-output is bit-identical to the interpreted oracle, and the batched path
-is byte-identical to the per-device compiled path: identical
-``ActivityTrace`` matrices, channels and post-run netlist state for
-every lane, regardless of batch size, lane order or raggedness
-(``tests/test_engine.py`` and ``tests/test_engine_batch.py`` prove it
-for every paper design).  Uint64 lane arithmetic mirrors the scalar
+**Tier selection.**  ``engine="auto"`` on the
+:class:`~repro.hdl.simulator.Simulator` compiles the netlist and lets
+the engine pick per design: the vectorised tier whenever the plan
+reconstructs at least one wire (every paper design), the scalar
+generated loop when the sequential residue is the whole design — an
+FSM whose every wire sits on the register feedback path, where a
+reduced loop plus kernels would just be the scalar loop with extra
+bookkeeping.  ``engine="compiled"`` pins the scalar loop (the oracle
+the vectorised tier is byte-compared against), ``engine="vectorised"``
+pins the kernel tier, and netlists the lowering pass rejects fall back
+to the interpreted loop under ``"auto"``.  Opaque lookup callables,
+input ports and oversized transition tables are simply forced into the
+sequential residue, so they execute exactly the scalar statements —
+the tier never guesses at semantics it cannot prove.
+
+**Invariant — neither batching nor the vectorised tier changes trace
+bytes.**  The compiled output is bit-identical to the interpreted
+oracle, the batched path is byte-identical to the per-device compiled
+path, and the vectorised tier is byte-identical to the scalar loop:
+identical ``ActivityTrace`` matrices, channels and post-run netlist
+state for every lane, regardless of batch size, lane order or
+raggedness (``tests/test_engine.py``, ``tests/test_engine_batch.py``
+and ``tests/test_engine_vectorised.py`` prove it for every paper
+design).  Uint64 lane arithmetic mirrors the scalar
 integer statements operation for operation, and both paths share one
 activity kernel (:func:`_activity_from_values`), so consumers — most
 importantly the fleet-level activity cache in
@@ -70,6 +109,14 @@ the interpreted reference engine automatically.  Netlists with input
 ports, opaque lookup callables or very wide transition tables compile
 but are not *batchable*; :func:`~repro.hdl.simulator.simulate_batch`
 runs those lanes through the scalar path instead.
+
+A compiled program snapshots its netlist's *compile generation*
+(:attr:`~repro.hdl.netlist.Netlist.compile_generation`).  A component
+that mutates anything the program baked in announces it via
+:meth:`~repro.hdl.component.Component.invalidate_compiled`, after
+which every stale :class:`CompiledNetlist` raises :class:`CompileError`
+instead of silently executing the old program; the ``Simulator``
+front-end recompiles transparently.
 """
 
 from __future__ import annotations
@@ -129,11 +176,11 @@ class CompileError(Exception):
 #: structural fingerprint.  Two netlists with the same fingerprint
 #: lower to byte-identical source over identical wire indices and
 #: value-equal bound constants, so the exec'd ``_settle`` / ``_run`` /
-#: ``_run_memo`` functions can be shared: a fleet of N devices
-#: manufactured from the same IP compiles its program exactly once.
-_PROGRAM_CACHE: "OrderedDict[str, Tuple[str, Callable, Callable, Callable]]" = (
-    OrderedDict()
-)
+#: ``_run_memo`` / ``_rrun`` / ``_rrun_memo`` functions and the vector
+#: plan can be shared: a fleet of N devices manufactured from the same
+#: IP compiles its program exactly once.  Entries are
+#: ``(source, settle, run, run_memo, rrun, rrun_memo, vector_plan)``.
+_PROGRAM_CACHE: "OrderedDict[str, tuple]" = OrderedDict()
 
 #: Process-wide cache of generated *batched* step programs, keyed on
 #: ``(shape key, per-slot uniformity mask)``: the same shape lowers to
@@ -148,10 +195,16 @@ _BATCH_PROGRAM_CACHE: "OrderedDict[Tuple[str, Tuple], Tuple[str, Callable, Calla
 PROGRAM_CACHE_MAX = 128
 
 
+#: Per-shape cycle-axis vector plans for :func:`run_batch` (the scalar
+#: path shares its plan through :data:`_PROGRAM_CACHE` instead).
+_BATCH_PLAN_CACHE: "OrderedDict[str, _VectorPlan]" = OrderedDict()
+
+
 def clear_program_cache() -> None:
     """Drop every shared compiled program (mainly for tests)."""
     _PROGRAM_CACHE.clear()
     _BATCH_PROGRAM_CACHE.clear()
+    _BATCH_PLAN_CACHE.clear()
 
 
 def program_cache_size() -> int:
@@ -629,13 +682,62 @@ class _Lowering:
             f"transition entry' % ({component.name!r}, format({state}, '#x')))",
         ]
 
+    def vector_ops(self, order: Sequence) -> Tuple[tuple, ...]:
+        """Shape-level op per combinational component, aligned with ``order``.
+
+        Components the batched lowering covers reuse their batch op;
+        the rest get pseudo-ops so :func:`_vector_partition` sees their
+        dataflow: ``("port", target)`` for input ports, ``("opaque",
+        inputs, out)`` for un-tablefied lookup callables, ``("widett",
+        state, next)`` for transition tables too wide to densify and
+        ``("nop",)`` for output pads.  Position ``i`` always describes
+        ``order[i]``, so partition results index straight into the
+        combinational order.
+        """
+        ops: List[tuple] = []
+        for component in order:
+            op = self._batch_op.get(id(component))
+            if op is not None:
+                ops.append(op)
+                continue
+            kind = type(component)
+            if kind is InputPort:
+                ops.append(("port", self.wire_index(component.target)))
+            elif kind is LookupLogic:
+                ops.append((
+                    "opaque",
+                    tuple(self.wire_index(w) for w in component.input_wires),
+                    self.wire_index(component.output),
+                ))
+            elif kind is TransitionTable:
+                ops.append((
+                    "widett",
+                    self.wire_index(component.state),
+                    self.wire_index(component.next_state),
+                ))
+            else:  # OutputPort (ClockTree is not combinational)
+                ops.append(("nop",))
+        return tuple(ops)
+
     def generate_program(self) -> None:
-        """Assemble and exec ``_settle`` / ``_run`` / ``_run_memo``."""
+        """Assemble and exec the scalar runners (full and reduced).
+
+        ``_settle`` / ``_run`` / ``_run_memo`` execute the whole design;
+        ``_rrun`` / ``_rrun_memo`` execute only the vector plan's
+        phase-1 residue (core ops + core registers) and record compact
+        core-wire rows for the phase-2 kernels to expand.
+        """
         order = self.netlist.combinational_order()
         n = len(self.wires)
         names = [f"w{i}" for i in range(n)]
         unpack = ", ".join(names) + ("," if names else "")
         row = "(" + ", ".join(names) + ("," if names else "") + ")"
+        regs = tuple(
+            (self.wire_index(r.d), self.wire_index(r.q))
+            for r in self.registers
+        )
+        plan = _vector_partition(n, regs, self.vector_ops(order))
+        self.vector_plan = plan
 
         port_slot = {id(port): i for i, port in enumerate(self.ports)}
         settle_body: List[str] = []
@@ -693,6 +795,70 @@ class _Lowering:
             f"    for _t in range(_cycles):\n"
             f"{step}\n"
             f"        _r = {row}\n"
+            f"        _j = _seen.get(_r)\n"
+            f"        if _j is not None:\n"
+            f"            return _rows, _j\n"
+            f"        _seen[_r] = len(_rows)\n"
+            f"        _ap(_r)\n"
+            f"    return _rows, None\n"
+        )
+
+        # Reduced runners: the same step semantics restricted to the
+        # vector plan's phase-1 residue.  Core statements only ever read
+        # core wires (the partition closure guarantees it), so the loop
+        # tracks and records just those columns; the recorded row is the
+        # memo key — core rows are Markov (nothing outside the residue
+        # feeds back into it), so core re-entry implies core periodicity.
+        core_names = [f"w{i}" for i in plan.core_wires]
+        core_unpack = ", ".join(core_names) + ("," if core_names else "")
+        core_row = (
+            "(" + ", ".join(core_names) + ("," if core_names else "") + ")"
+        )
+        core_set = set(plan.core_ops)
+        rloop_body: List[str] = []
+        for pos, component in enumerate(order):
+            if pos not in core_set:
+                continue
+            if type(component) is InputPort:
+                stim_expr = f"_t + 1 + _off[{port_slot[id(component)]}]"
+            else:
+                stim_expr = "0"
+            rloop_body.extend(self._comb_statement(component, stim_expr))
+        rcapture = [
+            f"_c{i} = w{self.wire_index(self.registers[i].d)}"
+            for i in plan.core_regs
+        ]
+        rcommit = [
+            f"w{self.wire_index(self.registers[i].q)} = _c{i}"
+            for i in plan.core_regs
+        ]
+        rstep = "\n".join(
+            part for part in (
+                _indent(rcapture, 2),
+                _indent(rcommit, 2),
+                _indent(rloop_body, 2),
+            ) if part
+        ) or "        pass"
+        runpack = f"    {core_unpack} = _init\n" if core_names else ""
+        source += (
+            f"\n"
+            f"def _rrun(_cycles, _init, _off):\n"
+            f"    _rows = [_init]\n"
+            f"    _ap = _rows.append\n"
+            f"{runpack}"
+            f"    for _t in range(_cycles):\n"
+            f"{rstep}\n"
+            f"        _ap({core_row})\n"
+            f"    return _rows, None\n"
+            f"\n"
+            f"def _rrun_memo(_cycles, _init, _off):\n"
+            f"    _rows = [_init]\n"
+            f"    _ap = _rows.append\n"
+            f"    _seen = {{_init: 0}}\n"
+            f"{runpack}"
+            f"    for _t in range(_cycles):\n"
+            f"{rstep}\n"
+            f"        _r = {core_row}\n"
             f"        _j = _seen.get(_r)\n"
             f"        if _j is not None:\n"
             f"            return _rows, _j\n"
@@ -834,8 +1000,18 @@ def _batch_statement(op: tuple, uniform: Tuple) -> List[str]:
     )
 
 
-def _build_batch_source(plan: tuple, uniform: Tuple) -> str:
-    """Assemble ``_bsettle`` / ``_brun`` source for one shape."""
+def _build_batch_source(
+    plan: tuple, uniform: Tuple, partition: Optional["_VectorPlan"] = None
+) -> str:
+    """Assemble ``_bsettle`` / ``_brun`` source for one shape.
+
+    With a ``partition`` (the cycle-axis vector plan), ``_brun``
+    executes only the phase-1 residue — core ops and core registers —
+    and records compact core-wire rows; the settle pass stays full
+    because the baseline row needs every wire.  Without one, the loop
+    executes and records the whole design (the scalar-per-cycle batch
+    oracle the vectorised composition is tested against).
+    """
     n_wires, regs, ops, slot_kinds = plan
     names = [f"w{i}" for i in range(n_wires)]
     unpack = ", ".join(names) + ","
@@ -845,16 +1021,30 @@ def _build_batch_source(plan: tuple, uniform: Tuple) -> str:
     body: List[str] = []
     for op in ops:
         body.extend(_batch_statement(op, uniform))
-    capture = [f"_c{i} = w{d}" for i, (d, _q) in enumerate(regs)]
-    commit = [f"w{q} = _c{i}" for i, (_d, q) in enumerate(regs)]
-    stores = ["_Ot = _O[_t + 1]"] + [f"_Ot[{i}] = w{i}" for i in range(n_wires)]
+    if partition is None:
+        loop_body = body
+        loop_regs = list(enumerate(regs))
+        record = list(range(n_wires))
+    else:
+        core_set = set(partition.core_ops)
+        loop_body = []
+        for pos, op in enumerate(ops):
+            if pos in core_set:
+                loop_body.extend(_batch_statement(op, uniform))
+        loop_regs = [(i, regs[i]) for i in partition.core_regs]
+        record = list(partition.core_wires)
+    capture = [f"_c{i} = w{d}" for i, (d, _q) in loop_regs]
+    commit = [f"w{q} = _c{i}" for i, (_d, q) in loop_regs]
+    stores = ["_Ot = _O[_t + 1]"] + [
+        f"_Ot[{k}] = w{i}" for k, i in enumerate(record)
+    ]
 
     settle_body = _indent(body, 1) or "    pass"
     step = "\n".join(
         part for part in (
             _indent(capture, 2),
             _indent(commit, 2),
-            _indent(body, 2),
+            _indent(loop_body, 2),
             _indent(stores, 2),
         ) if part
     )
@@ -875,15 +1065,23 @@ def _build_batch_source(plan: tuple, uniform: Tuple) -> str:
 
 
 def _batch_program(
-    shape_key: str, plan: tuple, uniform: Tuple
+    shape_key: str,
+    plan: tuple,
+    uniform: Tuple,
+    partition: Optional["_VectorPlan"] = None,
 ) -> Tuple[Callable, Callable]:
-    """Fetch or generate the batched program for (shape, uniformity)."""
-    cache_key = (shape_key, uniform)
+    """Fetch or generate the batched program for (shape, uniformity).
+
+    Core-recording (vectorised-composition) programs cache separately
+    from full-recording ones — the partition is itself a pure function
+    of the shape, so a boolean suffices as the third key dimension.
+    """
+    cache_key = (shape_key, uniform, partition is not None)
     cached = _BATCH_PROGRAM_CACHE.get(cache_key)
     if cached is not None:
         _BATCH_PROGRAM_CACHE.move_to_end(cache_key)
         return cached[1], cached[2]
-    source = _build_batch_source(plan, uniform)
+    source = _build_batch_source(plan, uniform, partition)
     namespace: Dict[str, object] = {"_np": np, "_TTSENT": _TT_SENTINEL}
     exec(compile(source, "<batched>", "exec"), namespace)
     entry = (source, namespace["_bsettle"], namespace["_brun"])
@@ -932,6 +1130,445 @@ def _first_state_reentry(rows: np.ndarray) -> Optional[Tuple[int, int]]:
     return int(first_occurrence[t1]), t1
 
 
+# -- cycle-axis vectorisation (the third execution tier) -------------------
+
+#: Op kinds the vectorised tier always keeps in the scalar phase-1
+#: residue: transition tables (sparse dict semantics whose ``KeyError``
+#: must fire at the first offending cycle), opaque lookup callables,
+#: input ports (arbitrary stimulus callables) and transition tables too
+#: wide to densify.
+_VECTOR_CORE_KINDS = frozenset({"tt", "widett", "port", "opaque"})
+
+
+def _op_wires(op: tuple) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """``(read wire indices, written wire indices)`` of one lowered op."""
+    kind = op[0]
+    if kind == "const":
+        return (), (op[2],)
+    if kind == "xor":
+        return (op[1], op[2]), (op[3],)
+    if kind == "inc" or kind == "b2g" or kind == "g2b":
+        return (op[1],), (op[2],)
+    if kind == "mux":
+        return (op[1], op[2], op[3]), (op[4],)
+    if kind == "lut":
+        return tuple(idx for idx, _width in op[2]), (op[3],)
+    if kind == "rom":
+        return (op[2],), (op[3],)
+    if kind == "tt":
+        return (op[3],), (op[4],)
+    if kind == "widett":
+        return (op[1],), (op[2],)
+    if kind == "port":
+        return (), (op[1],)
+    if kind == "opaque":
+        return tuple(op[1]), (op[2],)
+    if kind == "nop":
+        return (), ()
+    raise CompileError(  # pragma: no cover - ops are produced in-module
+        f"unknown lowered op {kind!r}"
+    )
+
+
+@dataclass(frozen=True)
+class _VectorPlan:
+    """How one netlist shape splits into sequential residue + kernels.
+
+    ``core_ops`` / ``core_regs`` / ``core_wires`` describe phase 1: the
+    ops, registers and recorded wires of the reduced scalar step loop.
+    ``kernels`` is the topologically ordered phase-2 program that
+    reconstructs every remaining wire column for all cycles at once.
+    ``depth`` is the longest chain of peeled registers: a full value
+    row depends on at most ``depth`` earlier core rows, so periodicity
+    of the full rows lags the core-row period start by ``depth``.
+    """
+
+    core_wires: Tuple[int, ...]
+    core_ops: Tuple[int, ...]
+    core_regs: Tuple[int, ...]
+    kernels: Tuple[tuple, ...]
+    depth: int
+
+    @property
+    def profitable(self) -> bool:
+        """True when phase 2 reconstructs at least one computed wire."""
+        return any(kernel[0] != "hold" for kernel in self.kernels)
+
+
+def _vector_partition(
+    n_wires: int, regs: Sequence[Tuple[int, int]], ops: Sequence[tuple]
+) -> _VectorPlan:
+    """Partition a lowered netlist for cycle-axis vectorisation.
+
+    Phase 1 (the sequential residue) keeps: every forced-core op
+    (:data:`_VECTOR_CORE_KINDS`), every register on a register-to-
+    register dependency cycle (the genuine recurrence state), and the
+    transitive combinational fan-in of both.  Everything else — feed-
+    forward combinational slices whose inputs are core columns, plus
+    *peeled* registers (acyclic state that is a pure one-cycle delay of
+    a reconstructible wire) — becomes a phase-2 kernel evaluated over
+    whole blocks of cycles at once.
+    """
+    reads: List[Tuple[int, ...]] = []
+    writes: List[Tuple[int, ...]] = []
+    producer: Dict[int, Tuple[str, int]] = {}
+    for pos, op in enumerate(ops):
+        op_reads, op_writes = _op_wires(op)
+        reads.append(op_reads)
+        writes.append(op_writes)
+        for wire in op_writes:
+            producer[wire] = ("op", pos)
+    for pos, (_d, q) in enumerate(regs):
+        producer[q] = ("reg", pos)
+
+    def reg_sources(wire: int) -> set:
+        """Registers whose Q reaches ``wire`` through combinational ops."""
+        found: set = set()
+        seen: set = set()
+        stack = [wire]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            entry = producer.get(current)
+            if entry is None:
+                continue
+            kind, pos = entry
+            if kind == "reg":
+                found.add(pos)
+            else:
+                stack.extend(reads[pos])
+        return found
+
+    reg_deps = [reg_sources(d) for d, _q in regs]
+    # A register carries recurrence state iff it can reach itself
+    # through the register dependency graph; acyclic registers are
+    # "peeled" and reconstructed in phase 2 as one-cycle column shifts.
+    on_cycle: set = set()
+    for start in range(len(regs)):
+        stack = list(reg_deps[start])
+        seen = set()
+        while stack:
+            reg = stack.pop()
+            if reg == start:
+                on_cycle.add(start)
+                break
+            if reg in seen:
+                continue
+            seen.add(reg)
+            stack.extend(reg_deps[reg])
+
+    core_ops = {pos for pos, op in enumerate(ops) if op[0] in _VECTOR_CORE_KINDS}
+    core_regs = set(on_cycle)
+    needed: set = set()
+    stack = []
+    for pos in core_ops:
+        stack.extend(reads[pos])
+    for pos in core_regs:
+        stack.append(regs[pos][0])
+    while stack:
+        wire = stack.pop()
+        if wire in needed:
+            continue
+        needed.add(wire)
+        entry = producer.get(wire)
+        if entry is None:
+            continue
+        kind, pos = entry
+        if kind == "reg":
+            if pos not in core_regs:
+                core_regs.add(pos)
+                stack.append(regs[pos][0])
+        elif pos not in core_ops:
+            core_ops.add(pos)
+            stack.extend(reads[pos])
+
+    phase1: set = set()
+    for pos in core_ops:
+        phase1.update(writes[pos])
+    for pos in core_regs:
+        phase1.add(regs[pos][1])
+    for wire in needed:
+        if wire not in producer:
+            phase1.add(wire)  # undriven wire a core statement reads
+
+    # Phase-2 nodes: the remaining combinational ops plus peeled
+    # registers (column shifts), in input order for determinism.
+    nodes: List[Tuple[tuple, Tuple[int, ...], Tuple[int, ...]]] = []
+    for pos, op in enumerate(ops):
+        if pos in core_ops or not writes[pos]:
+            continue
+        nodes.append((op, reads[pos], writes[pos]))
+    for pos, (d, q) in enumerate(regs):
+        if pos not in core_regs:
+            nodes.append((("shift", d, q), (d,), (q,)))
+    written2: set = set()
+    for _op, _r, node_writes in nodes:
+        written2.update(node_writes)
+
+    # Undriven wires no phase computes hold their baseline value.
+    kernels: List[tuple] = [
+        ("hold", wire)
+        for wire in sorted(set(range(n_wires)) - phase1 - written2)
+    ]
+
+    # Kahn over the phase-2-produced wires.  A comb op never cycles
+    # (netlist validation) and a cycle through a peeled register would
+    # make that register reach itself, i.e. core — so this always
+    # completes.
+    produced_by: Dict[int, int] = {}
+    for index, (_op, _r, node_writes) in enumerate(nodes):
+        for wire in node_writes:
+            produced_by[wire] = index
+    in_degree = [0] * len(nodes)
+    dependents: List[List[int]] = [[] for _ in nodes]
+    for index, (_op, node_reads, _w) in enumerate(nodes):
+        for wire in set(node_reads):
+            upstream = produced_by.get(wire)
+            if upstream is not None and upstream != index:
+                dependents[upstream].append(index)
+                in_degree[index] += 1
+    ready = [index for index, degree in enumerate(in_degree) if degree == 0]
+    ordered: List[int] = []
+    while ready:
+        index = min(ready)
+        ready.remove(index)
+        ordered.append(index)
+        for downstream in dependents[index]:
+            in_degree[downstream] -= 1
+            if in_degree[downstream] == 0:
+                ready.append(downstream)
+    if len(ordered) != len(nodes):  # pragma: no cover - defensive
+        raise CompileError("cycle in phase-2 kernel plan")
+
+    depth_of = [0] * n_wires
+    depth = 0
+    for index in ordered:
+        op, node_reads, node_writes = nodes[index]
+        if op[0] == "shift":
+            node_depth = depth_of[op[1]] + 1
+        else:
+            node_depth = max((depth_of[wire] for wire in node_reads), default=0)
+        for wire in node_writes:
+            depth_of[wire] = node_depth
+        depth = max(depth, node_depth)
+        kernels.append(op)
+
+    return _VectorPlan(
+        core_wires=tuple(sorted(phase1)),
+        core_ops=tuple(sorted(core_ops)),
+        core_regs=tuple(sorted(core_regs)),
+        kernels=tuple(kernels),
+        depth=depth,
+    )
+
+
+def _apply_vector_kernels(
+    values: np.ndarray,
+    kernels: Sequence[tuple],
+    slot_data: Sequence[object],
+    slot_ragged: Sequence[bool],
+    lanes: Optional[np.ndarray],
+) -> None:
+    """Run the phase-2 kernel program over a value tensor in place.
+
+    ``values`` is ``(rows, n_wires)`` or ``(rows, n_wires, batch)``
+    with row 0 (the settled baseline) and every core column already
+    filled; each kernel fills one non-core column for rows ``1..``.
+    The arithmetic mirrors the scalar statements operation for
+    operation over uint64, so reconstructed columns are bit-identical
+    to stepped ones.  ``slot_ragged[slot]`` marks per-lane stacked
+    tables (indexed through ``lanes``); scalar execution passes all-
+    ``False`` and ``lanes=None``.
+    """
+    body = values[1:]
+    one = np.uint64(1)
+    for op in kernels:
+        kind = op[0]
+        if kind == "xor":
+            _, a, b, out = op
+            body[:, out] = body[:, a] ^ body[:, b]
+        elif kind == "inc":
+            _, a, out, m = op
+            body[:, out] = (body[:, a] + one) & np.uint64(m)
+        elif kind == "b2g":
+            _, a, out = op
+            column = body[:, a]
+            body[:, out] = column ^ (column >> one)
+        elif kind == "g2b":
+            _, a, out, width = op
+            column = body[:, a].copy()
+            shift = 1
+            while shift < width:
+                column ^= column >> np.uint64(shift)
+                shift <<= 1
+            body[:, out] = column
+        elif kind == "mux":
+            _, s, a, b, out = op
+            body[:, out] = np.where(body[:, s] != 0, body[:, b], body[:, a])
+        elif kind == "const":
+            _, slot, out = op
+            body[:, out] = slot_data[slot]
+        elif kind == "lut":
+            _, slot, parts, out = op
+            shift = sum(width for _idx, width in parts)
+            index = None
+            for idx, width in parts:
+                shift -= width
+                part = body[:, idx] << np.uint64(shift) if shift else body[:, idx]
+                index = part if index is None else index | part
+            table = slot_data[slot]
+            if slot_ragged[slot]:
+                body[:, out] = table[lanes, index]
+            else:
+                body[:, out] = table[index]
+        elif kind == "rom":
+            _, slot, addr, out = op
+            table = slot_data[slot]
+            if slot_ragged[slot]:
+                body[:, out] = table[lanes, body[:, addr]]
+            else:
+                body[:, out] = table[body[:, addr]]
+        elif kind == "shift":
+            _, d, q = op
+            body[:, q] = values[:-1, d]
+        elif kind == "hold":
+            body[:, op[1]] = values[0, op[1]]
+        else:  # pragma: no cover - plans are produced in-module
+            raise CompileError(f"no vector kernel for op {kind!r}")
+
+
+def _vector_reconstruct(
+    init_row: np.ndarray,
+    core_rows: np.ndarray,
+    core_wires: Tuple[int, ...],
+    kernels: Sequence[tuple],
+    slot_data: Sequence[object],
+    slot_ragged: Sequence[bool],
+    lanes: Optional[np.ndarray],
+) -> np.ndarray:
+    """Full value tensor from phase-1 core rows + phase-2 kernels.
+
+    ``init_row`` is the settled baseline — ``(n_wires,)`` scalar or
+    ``(n_wires, batch)`` batched; ``core_rows`` is the compact
+    ``(rows, n_core[, batch])`` phase-1 recording (row 0 unused).
+    """
+    values = np.empty((core_rows.shape[0],) + init_row.shape, dtype=np.uint64)
+    values[0] = init_row
+    if core_wires:
+        values[1:, np.asarray(core_wires, dtype=np.intp)] = core_rows[1:]
+    _apply_vector_kernels(values, kernels, slot_data, slot_ragged, lanes)
+    return values
+
+
+def _vector_prefix(
+    init_row: np.ndarray,
+    core_rows: np.ndarray,
+    repeat: Tuple[int, int],
+    cycles: int,
+    core_wires: Tuple[int, ...],
+    kernels: Sequence[tuple],
+    slot_data: Sequence[object],
+    slot_ragged: Sequence[bool],
+    depth: int,
+) -> Tuple[np.ndarray, int, int, int]:
+    """Reconstructed value prefix of a memoised (periodic) vector run.
+
+    ``repeat`` is the first core-row re-entry ``(j, t1)``: core rows
+    are periodic with period ``t1 - j`` from row ``j`` on, hence full
+    rows from row ``j + depth`` on.  Returns ``(values, last, start,
+    period)`` where ``values`` holds rows ``0..last`` with ``last =
+    min(cycles, t1 + depth)``, enough that every later row ``r`` equals
+    row ``start + (r - start) % period``.
+    """
+    j, t1 = repeat
+    period = t1 - j
+    start = j + depth
+    last = min(cycles, t1 + depth)
+    stepped = core_rows.shape[0] - 1
+    if last <= stepped:
+        core_ext = core_rows[:last + 1]
+    else:
+        extra = np.arange(stepped + 1, last + 1)
+        core_ext = np.concatenate(
+            [core_rows, core_rows[j + (extra - j) % period]], axis=0
+        )
+    values = _vector_reconstruct(
+        init_row, core_ext, core_wires, kernels, slot_data, slot_ragged, None
+    )
+    return values, last, start, period
+
+
+def _vector_memo_trace(
+    init_row: np.ndarray,
+    core_rows: np.ndarray,
+    repeat: Tuple[int, int],
+    cycles: int,
+    core_wires: Tuple[int, ...],
+    kernels: Sequence[tuple],
+    slot_data: Sequence[object],
+    slot_ragged: Sequence[bool],
+    depth: int,
+    specs: Sequence[tuple],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Activity matrix + final two value rows of a memoised vector run.
+
+    Activity row ``a`` is an elementwise function of value rows ``a``
+    and ``a + 1``, so activity rows inherit the value rows' periodicity:
+    they are computed once over the reconstructed prefix and *tiled*
+    (gathered) for the periodic suffix — O(period) kernel work no
+    matter how many cycles were requested, with float-identical rows
+    because tiled entries are copies of prefix entries computed from
+    identical inputs.
+    """
+    values, last, start, period = _vector_prefix(
+        init_row, core_rows, repeat, cycles, core_wires, kernels,
+        slot_data, slot_ragged, depth,
+    )
+    prefix = _activity_from_values(values, last, specs)
+    if cycles > last:
+        # Suffix row ``a`` equals prefix row ``start + (a - start) %
+        # period``, and ``last - start`` is an exact multiple of the
+        # period, so the suffix is whole repetitions of the block
+        # ``prefix[start:start + period]`` — written with one broadcast
+        # copy (block memcpy) instead of a fancy-index gather, which is
+        # what keeps long memoised runs memory-bandwidth bound.
+        matrix = np.empty((cycles,) + prefix.shape[1:], dtype=prefix.dtype)
+        matrix[:last] = prefix
+        block = prefix[start:start + period]
+        remaining = cycles - last
+        reps = remaining // period
+        if reps:
+            matrix[last:last + reps * period].reshape(
+                (reps, period) + prefix.shape[1:]
+            )[:] = block
+        tail = remaining - reps * period
+        if tail:
+            matrix[last + reps * period:] = block[:tail]
+    else:
+        matrix = prefix
+
+    def value_row(row: int) -> np.ndarray:
+        if row <= last:
+            return values[row]
+        return values[start + (row - start) % period]
+
+    last_two = np.stack([value_row(cycles - 1), value_row(cycles)])
+    return matrix, last_two
+
+
+def _lane_slot(
+    value: object, kind: str, uniform_flag: Optional[bool], lane: int
+) -> object:
+    """Resolve one batch data slot to a single lane's scalar view."""
+    if kind == "const":
+        return value[lane]
+    if kind == "table" or kind == "ttable":
+        return value if uniform_flag else value[lane]
+    return None  # "ttname": only read by core transition-table checks
+
+
 class CompiledNetlist:
     """A netlist lowered to a flat, table-driven program.
 
@@ -966,13 +1603,38 @@ class CompiledNetlist:
         self._registers = lowering.registers
         self._ports = lowering.ports
         self._specs = lowering.activity_specs
+        self._slot_kinds = tuple(lowering.slot_kinds)
+        self._slot_values = tuple(lowering.slot_values)
         self._settle = None
         self._run = None
         self._run_memo = None
+        self._rrun = None
+        self._rrun_memo = None
         self._memo_ok = not lowering.ports
+        #: Vectorisation policy: ``"auto"`` uses the cycle-axis kernels
+        #: when the plan reconstructs at least one computed wire,
+        #: ``True`` forces them, ``False`` pins the scalar generated
+        #: loop (the oracle the vectorised tier is tested against).
+        self.vectorise: object = "auto"
+        self._vector_plan: Optional[_VectorPlan] = None
+        self._vector_slots: Optional[Tuple[tuple, tuple]] = None
+        #: Invalidation token: the owning netlist's compile generation
+        #: at lowering time; executing after any component bumped its
+        #: generation raises :class:`CompileError`.
+        self._compile_generation = netlist.compile_generation
         #: True when :meth:`_ensure_program` found the step program in
         #: the process-wide cache instead of generating it.
         self.program_shared = False
+
+    def _check_generation(self) -> None:
+        """Refuse to execute a program compiled from mutated components."""
+        current = self.netlist.compile_generation
+        if current != self._compile_generation:
+            raise CompileError(
+                f"netlist {self.netlist.name!r} was modified after "
+                f"compilation (compile generation {current} != "
+                f"{self._compile_generation}); recompile it"
+            )
 
     def _ensure_program(self) -> None:
         """Attach the step program on first actual execution.
@@ -982,6 +1644,7 @@ class CompiledNetlist:
         ``exec``-compiles the program once and shares the functions
         (they are pure in their arguments, so sharing is safe).
         """
+        self._check_generation()
         if self._run is not None:
             return
         key = self.structural_key
@@ -989,7 +1652,10 @@ class CompiledNetlist:
             cached = _PROGRAM_CACHE.get(key)
             if cached is not None:
                 _PROGRAM_CACHE.move_to_end(key)
-                self.source, self._settle, self._run, self._run_memo = cached
+                (
+                    self.source, self._settle, self._run, self._run_memo,
+                    self._rrun, self._rrun_memo, self._vector_plan,
+                ) = cached
                 self.program_shared = True
                 self._lowering = None
                 return
@@ -999,10 +1665,14 @@ class CompiledNetlist:
         self._settle = lowering.namespace["_settle"]
         self._run = lowering.namespace["_run"]
         self._run_memo = lowering.namespace["_run_memo"]
+        self._rrun = lowering.namespace["_rrun"]
+        self._rrun_memo = lowering.namespace["_rrun_memo"]
+        self._vector_plan = lowering.vector_plan
         self._lowering = None
         if key is not None:
             _PROGRAM_CACHE[key] = (
-                self.source, self._settle, self._run, self._run_memo
+                self.source, self._settle, self._run, self._run_memo,
+                self._rrun, self._rrun_memo, self._vector_plan,
             )
             while len(_PROGRAM_CACHE) > PROGRAM_CACHE_MAX:
                 _PROGRAM_CACHE.popitem(last=False)
@@ -1067,12 +1737,127 @@ class CompiledNetlist:
     def _activity_matrix(self, values: np.ndarray, cycles: int) -> np.ndarray:
         return _activity_from_values(values, cycles, self._specs)
 
+    # -- cycle-axis vectorised execution -----------------------------------
+
+    def _vector_active(self) -> bool:
+        """Whether :meth:`run` should use the vectorised tier."""
+        if self.vectorise is False:
+            return False
+        self._ensure_program()
+        if self.vectorise == "auto":
+            return self._vector_plan.profitable
+        return True
+
+    @property
+    def tier(self) -> str:
+        """Execution tier :meth:`run` selects: ``"vectorised"`` or
+        ``"scalar"`` (the generated per-cycle loop)."""
+        return "vectorised" if self._vector_active() else "scalar"
+
+    def _vector_slot_data(self) -> Tuple[tuple, tuple]:
+        """Kernel-ready ``(slot data, slot raggedness)`` for this netlist.
+
+        Table slots become uint64 arrays for gather kernels; constants
+        become plain ints; transition-table slots stay ``None`` (those
+        ops are always core).  A scalar execution is never ragged.
+        """
+        if self._vector_slots is None:
+            data: List[object] = []
+            for kind, value in zip(self._slot_kinds, self._slot_values):
+                if kind == "const":
+                    data.append(int(value))
+                elif kind == "table":
+                    data.append(np.array(value, dtype=np.uint64))
+                else:  # "ttable" / "ttname": consumed by core statements
+                    data.append(None)
+            self._vector_slots = (tuple(data), (False,) * len(data))
+        return self._vector_slots
+
+    def _vector_arrays(
+        self, cycles: int, reset: bool
+    ) -> Tuple[_VectorPlan, np.ndarray, np.ndarray, Optional[Tuple[int, int]],
+               Tuple[int, ...]]:
+        """Run phase 1: the reduced scalar loop over the core residue.
+
+        Returns the plan, the full settled baseline row, the stepped
+        ``(rows, n_core)`` core matrix, the core re-entry ``(j, t1)``
+        (``None`` when the run was fully stepped) and the port offsets.
+        """
+        self._ensure_program()
+        plan = self._vector_plan
+        init, offsets = self._baseline(reset)
+        core_init = tuple(init[i] for i in plan.core_wires)
+        runner = (
+            self._rrun_memo
+            if self._memo_ok and cycles >= MEMO_MIN_CYCLES
+            else self._rrun
+        )
+        rows, repeat = runner(cycles, core_init, offsets)
+        core_rows = np.array(rows, dtype=np.uint64)
+        if core_rows.ndim == 1:  # zero core wires
+            core_rows = core_rows.reshape(len(rows), 0)
+        if repeat is not None:
+            repeat = (repeat, len(rows))
+        init_row = np.array(init, dtype=np.uint64)
+        return plan, init_row, core_rows, repeat, offsets
+
+    def _vector_full_values(self, cycles: int, reset: bool) -> np.ndarray:
+        """Complete ``(cycles + 1, n_wires)`` matrix via the vector tier.
+
+        Memoised runs expand the periodic suffix into real rows — this
+        backs :meth:`wire_sequence`, whose output is O(cycles) anyway.
+        Also mirrors the final state back onto the netlist objects.
+        """
+        plan, init_row, core_rows, repeat, offsets = self._vector_arrays(
+            cycles, reset
+        )
+        slot_data, slot_ragged = self._vector_slot_data()
+        if repeat is None:
+            values = _vector_reconstruct(
+                init_row, core_rows, plan.core_wires, plan.kernels,
+                slot_data, slot_ragged, None,
+            )
+        else:
+            values, last, start, period = _vector_prefix(
+                init_row, core_rows, repeat, cycles, plan.core_wires,
+                plan.kernels, slot_data, slot_ragged, plan.depth,
+            )
+            if cycles > last:
+                suffix = start + (np.arange(last + 1, cycles + 1) - start) % period
+                values = np.concatenate([values, values[suffix]], axis=0)
+        self._write_back(values, offsets, cycles)
+        return values
+
+    def _run_vectorised(self, cycles: int, reset: bool) -> ActivityTrace:
+        """One vectorised-tier run: reduced stepping + kernel expansion."""
+        plan, init_row, core_rows, repeat, offsets = self._vector_arrays(
+            cycles, reset
+        )
+        slot_data, slot_ragged = self._vector_slot_data()
+        if repeat is None:
+            values = _vector_reconstruct(
+                init_row, core_rows, plan.core_wires, plan.kernels,
+                slot_data, slot_ragged, None,
+            )
+            matrix = _activity_from_values(values, cycles, self._specs)
+            self._write_back(values, offsets, cycles)
+        else:
+            matrix, last_two = _vector_memo_trace(
+                init_row, core_rows, repeat, cycles, plan.core_wires,
+                plan.kernels, slot_data, slot_ragged, plan.depth,
+                self._specs,
+            )
+            self._write_back(last_two, offsets, cycles)
+        return ActivityTrace(self.channels, matrix)
+
     # -- public API --------------------------------------------------------
 
     def run(self, cycles: int, reset: bool = True) -> ActivityTrace:
         """Simulate ``cycles`` clock periods and return the activity."""
         if cycles <= 0:
             raise ValueError(f"cycles must be positive, got {cycles}")
+        if self._vector_active():
+            return self._run_vectorised(cycles, reset)
         values = self._simulate(cycles, reset)
         return ActivityTrace(self.channels, self._activity_matrix(values, cycles))
 
@@ -1083,7 +1868,11 @@ class CompiledNetlist:
             raise KeyError(
                 f"wire {wire.name!r} is not part of netlist {self.netlist.name!r}"
             )
-        values = self._simulate(max(cycles, 0), reset=True)
+        cycles = max(cycles, 0)
+        if self._vector_active():
+            values = self._vector_full_values(cycles, reset=True)
+        else:
+            values = self._simulate(cycles, reset=True)
         return [int(v) for v in values[1:, index]]
 
 
@@ -1111,6 +1900,7 @@ def run_batch(
     engines: Sequence[CompiledNetlist],
     cycles: CyclesLike,
     reset: bool = True,
+    vectorise: object = "auto",
 ) -> List[ActivityTrace]:
     """Execute N shape-compatible compiled netlists in one batched run.
 
@@ -1128,12 +1918,20 @@ def run_batch(
     per-lane constants/tables are indexed by lane, and runs past
     :data:`MEMO_MIN_CYCLES` detect each lane's state re-entry
     independently and tile the periodic suffix instead of stepping.
+
+    ``vectorise`` composes the cycle-axis kernel plan with the batch
+    axis: ``"auto"`` (the default) steps only the sequential residue
+    per cycle when the plan reconstructs something, then rebuilds all
+    remaining wire columns for every ``cycle × lane`` at once; ``True``
+    forces that mode, ``False`` pins the full per-cycle batch loop.
+    All three settings produce identical trace bytes.
     """
     engines = list(engines)
     if not engines:
         raise ValueError("run_batch needs at least one engine")
     shape_key = engines[0].shape_key
     for engine in engines:
+        engine._check_generation()
         if engine.shape_key is None:
             raise CompileError(
                 f"netlist {engine.netlist.name!r} cannot be batch-executed "
@@ -1147,8 +1945,20 @@ def run_batch(
             )
     lane_cycles = _lane_cycles(engines, cycles)
     batch = len(engines)
-    n_wires, regs, _ops, slot_kinds = engines[0].batch_plan
+    n_wires, regs, ops, slot_kinds = engines[0].batch_plan
     lanes = [engine.batch_lane for engine in engines]
+    partition: Optional[_VectorPlan] = None
+    if vectorise is not False:
+        candidate = _BATCH_PLAN_CACHE.get(shape_key)
+        if candidate is None:
+            candidate = _vector_partition(n_wires, regs, ops)
+            _BATCH_PLAN_CACHE[shape_key] = candidate
+            while len(_BATCH_PLAN_CACHE) > PROGRAM_CACHE_MAX:
+                _BATCH_PLAN_CACHE.popitem(last=False)
+        else:
+            _BATCH_PLAN_CACHE.move_to_end(shape_key)
+        if vectorise is True or candidate.profitable:
+            partition = candidate
 
     # Per-slot data: uniform table slots collapse to one 1-D array (and
     # a cheaper generated indexing mode); everything else stacks per lane.
@@ -1179,7 +1989,9 @@ def run_batch(
             data.append(tuple(values))
     data.append(np.arange(batch))
     data_tuple = tuple(data)
-    settle, run = _batch_program(shape_key, engines[0].batch_plan, tuple(uniform))
+    settle, run = _batch_program(
+        shape_key, engines[0].batch_plan, tuple(uniform), partition
+    )
 
     # Baseline: per-lane power-on (+ reset) values settled in one pass,
     # or each lane's current wire values for a continuation run.
@@ -1196,11 +2008,23 @@ def run_batch(
             dtype=np.uint64,
         ).T
 
+    # The settled full baseline, kept for phase-2 reconstruction; the
+    # step loop only records ``record`` columns (all wires without a
+    # partition, the core residue with one).
+    state0 = np.ascontiguousarray(np.asarray(state))
+    if partition is None:
+        n_record = n_wires
+        record0 = state0
+    else:
+        record_index = np.asarray(partition.core_wires, dtype=np.intp)
+        n_record = len(partition.core_wires)
+        record0 = state0[record_index]
+
     max_cycles = max(lane_cycles)
     repeats: List[Optional[Tuple[int, int]]] = [None] * batch
     if max_cycles < MEMO_MIN_CYCLES:
-        values = np.empty((max_cycles + 1, n_wires, batch), dtype=np.uint64)
-        values[0] = np.asarray(state)
+        values = np.empty((max_cycles + 1, n_record, batch), dtype=np.uint64)
+        values[0] = record0
         run(max_cycles, state, values, data_tuple)
         stepped = max_cycles
     else:
@@ -1213,15 +2037,15 @@ def run_batch(
         # Scan timing never changes results: the first re-entry
         # (j, t1) is a property of the value rows, not of when we look.
         capacity = min(max_cycles, BATCH_MEMO_CHUNK)
-        buffer = np.empty((capacity + 1, n_wires, batch), dtype=np.uint64)
-        buffer[0] = np.asarray(state)
+        buffer = np.empty((capacity + 1, n_record, batch), dtype=np.uint64)
+        buffer[0] = record0
         stepped = 0
         next_scan = BATCH_MEMO_CHUNK
         while stepped < max_cycles:
             if stepped == capacity:
                 capacity = min(max_cycles, capacity * 2)
                 grown = np.empty(
-                    (capacity + 1, n_wires, batch), dtype=np.uint64
+                    (capacity + 1, n_record, batch), dtype=np.uint64
                 )
                 grown[:stepped + 1] = buffer[:stepped + 1]
                 buffer = grown
@@ -1251,23 +2075,32 @@ def run_batch(
         values = buffer[:stepped + 1]
 
     traces: List[ActivityTrace] = []
+    slot_ragged = tuple(u is False for u in uniform)
     if stepped == max_cycles:
-        # Every lane was stepped in full: one batched activity pass,
-        # then per-lane prefix slices for ragged cycle counts.
+        # Every lane was stepped in full: expand the core recording (a
+        # no-op without a partition), one batched activity pass, then
+        # per-lane prefix slices for ragged cycle counts.
+        if partition is None:
+            full = values
+        else:
+            full = _vector_reconstruct(
+                state0, values, partition.core_wires, partition.kernels,
+                data_tuple, slot_ragged, data_tuple[-1],
+            )
         params = _lane_act_params(engines[0]._specs, lanes)
         activity = _activity_from_values(
-            values, max_cycles, engines[0]._specs, params
+            full, max_cycles, engines[0]._specs, params
         )
         for lane_index, engine in enumerate(engines):
             count = lane_cycles[lane_index]
             matrix = activity[:count, :, lane_index].copy()
             engine._write_back(
-                np.ascontiguousarray(values[count - 1:count + 1, :, lane_index]),
+                np.ascontiguousarray(full[count - 1:count + 1, :, lane_index]),
                 (),
                 count,
             )
             traces.append(ActivityTrace(engine.channels, matrix))
-    else:
+    elif partition is None:
         # Memoised early stop: assemble each lane's full value matrix
         # (stepped prefix + tiled periodic suffix) and reuse the shared
         # activity kernel per lane.
@@ -1287,6 +2120,35 @@ def run_batch(
                 lane_values = lane_values[:count + 1]
             matrix = _activity_from_values(lane_values, count, engine._specs)
             engine._write_back(lane_values[-2:], (), count)
+            traces.append(ActivityTrace(engine.channels, matrix))
+    else:
+        # Memoised early stop with a kernel plan: each lane expands its
+        # own core recording — tiling the periodic activity suffix for
+        # lanes that stopped early, plain reconstruction for lanes whose
+        # requested cycles fit in the stepped prefix.
+        no_ragged = (False,) * len(slot_kinds)
+        for lane_index, engine in enumerate(engines):
+            count = lane_cycles[lane_index]
+            init_lane = np.ascontiguousarray(state0[:, lane_index])
+            core_lane = np.ascontiguousarray(values[:, :, lane_index])
+            lane_slots = tuple(
+                _lane_slot(data_tuple[s], kind, uniform[s], lane_index)
+                for s, kind in enumerate(slot_kinds)
+            )
+            if count > stepped:
+                matrix, last_two = _vector_memo_trace(
+                    init_lane, core_lane, repeats[lane_index], count,
+                    partition.core_wires, partition.kernels, lane_slots,
+                    no_ragged, partition.depth, engine._specs,
+                )
+                engine._write_back(last_two, (), count)
+            else:
+                lane_full = _vector_reconstruct(
+                    init_lane, core_lane[:count + 1], partition.core_wires,
+                    partition.kernels, lane_slots, no_ragged, None,
+                )
+                matrix = _activity_from_values(lane_full, count, engine._specs)
+                engine._write_back(lane_full[-2:], (), count)
             traces.append(ActivityTrace(engine.channels, matrix))
     return traces
 

@@ -63,6 +63,18 @@ class Netlist:
         return self._component_names[name]
 
     @property
+    def compile_generation(self) -> int:
+        """Invalidation token for compiled programs.
+
+        The sum of every component's compile generation: any component
+        calling :meth:`~repro.hdl.component.Component.invalidate_compiled`
+        changes it, which makes previously compiled
+        :class:`~repro.hdl.engine.CompiledNetlist` programs refuse to
+        run (they snapshot this value at compile time).
+        """
+        return sum(c._compile_generation for c in self.components)
+
+    @property
     def sequential_components(self) -> List[SequentialComponent]:
         return [c for c in self.components if isinstance(c, SequentialComponent)]
 

@@ -4,20 +4,30 @@
 the original object-walking loop but delegates to one of two engines
 from :mod:`repro.hdl.engine`:
 
-* ``"compiled"`` (the default via ``"auto"``) — the netlist is lowered
-  once into a flat, table-driven program: a code-generated step
-  function advances all registers and combinational logic per clock,
-  and switching activity is accumulated into the ``(cycles, channels)``
-  matrix with vectorised NumPy Hamming weights, with zero per-cycle
-  object allocation.
+* ``"compiled"`` — the netlist is lowered once into a flat,
+  table-driven program: a code-generated step function advances all
+  registers and combinational logic per clock, and switching activity
+  is accumulated into the ``(cycles, channels)`` matrix with
+  vectorised NumPy Hamming weights, with zero per-cycle object
+  allocation.  This choice pins the *scalar* generated loop — the
+  oracle the vectorised tier is tested against.
+* ``"vectorised"`` — the compiled engine's third tier: only the
+  sequential residue (registers on feedback cycles, transition tables,
+  ports and their fan-in) steps cycle by cycle; every feed-forward
+  wire column is reconstructed for all cycles at once by numpy
+  kernels.  Raises when the netlist cannot be compiled.
 * ``"interpreted"`` — the original per-object loop, retained as a
   reference oracle.  ``tests/test_engine.py`` asserts bit-identical
-  activity matrices between both engines for every paper design.
+  activity matrices between engines for every paper design.
 
-``"auto"`` tries the compiled engine and silently falls back to the
-interpreted one for netlists the lowering pass does not support
-(custom component classes, >63-bit buses, wires not registered in the
-netlist).
+``"auto"`` (the default) tries the compiled engine and lets it choose
+the tier per netlist — vectorised when the kernel plan reconstructs at
+least one computed wire, the scalar loop when the sequential residue
+is the whole design — and silently falls back to the interpreted loop
+for netlists the lowering pass does not support (custom component
+classes, >63-bit buses, wires not registered in the netlist).  All
+engines produce bit-identical activity; the choice is purely an
+execution strategy.
 
 Fleet-scale workloads use :func:`simulate_batch`: it groups many
 simulators by the compiled engine's *shape key* and executes each
@@ -51,15 +61,17 @@ from repro.hdl.engine import (
 from repro.hdl.netlist import Netlist
 
 #: Engine selectors accepted by :class:`Simulator`.
-ENGINES = ("auto", "compiled", "interpreted")
+ENGINES = ("auto", "compiled", "vectorised", "interpreted")
 
 
 class Simulator:
     """Runs a netlist for a number of cycles and records activity.
 
     ``engine`` selects the execution strategy: ``"auto"`` (compiled
-    with interpreted fallback), ``"compiled"`` (raise
-    :class:`~repro.hdl.engine.CompileError` when lowering fails) or
+    with per-netlist tier choice and interpreted fallback),
+    ``"compiled"`` (scalar generated loop; raise
+    :class:`~repro.hdl.engine.CompileError` when lowering fails),
+    ``"vectorised"`` (cycle-axis kernels; raise when lowering fails) or
     ``"interpreted"`` (always use the reference loop).
     """
 
@@ -71,13 +83,22 @@ class Simulator:
         netlist.validate()
         self.netlist = netlist
         self._engine_choice = engine
-        self._shape: Optional[Tuple[int, int]] = None
+        self._shape: Optional[Tuple[int, int, int]] = None
         self._engine = None
         self._refresh_engine()
 
     def _refresh_engine(self) -> None:
-        """(Re)build the engine; recompiles if the netlist grew."""
-        shape = (len(self.netlist.wires), len(self.netlist.components))
+        """(Re)build the engine; recompiles if the netlist grew.
+
+        The shape tuple includes the netlist's compile generation, so a
+        component that announced a mutation via ``invalidate_compiled``
+        triggers a recompile here instead of a stale-program error.
+        """
+        shape = (
+            len(self.netlist.wires),
+            len(self.netlist.components),
+            self.netlist.compile_generation,
+        )
         if self._engine is not None and shape == self._shape:
             return
         self._shape = shape
@@ -87,9 +108,16 @@ class Simulator:
         try:
             self._engine = compile_netlist(self.netlist)
         except CompileError:
-            if self._engine_choice == "compiled":
+            if self._engine_choice in ("compiled", "vectorised"):
                 raise
             self._engine = InterpretedEngine(self.netlist)
+            return
+        if self._engine_choice == "compiled":
+            # Pin the scalar generated loop: this choice is the oracle
+            # the vectorised tier is byte-compared against.
+            self._engine.vectorise = False
+        elif self._engine_choice == "vectorised":
+            self._engine.vectorise = True
 
     @property
     def engine_name(self) -> str:

@@ -32,9 +32,12 @@ scenario's netlist simulation through one shared
 :class:`~repro.hdl.batch_pool.BatchPool`.  Before campaigns run, the
 executor *prefetches* in bounded windows: it builds (or fetches from
 the artifact cache) each window scenario's fleet and submits its
-distinct ``(structure, cycles)`` activity entries to the pool; one
-flush then executes lanes from all those scenarios grouped by netlist
-shape — scenarios batch across, not just within, campaigns, while
+distinct ``(structure, cycles)`` activity entries to the pool.  Only
+the first submitting scenario's lanes are flushed eagerly — the
+window's first campaign starts measuring immediately while the rest
+of the wave stays pending, and drains in one cross-campaign
+shape-grouped flush when the first campaign that needs it primes its
+fleet — scenarios batch across, not just within, campaigns, while
 peak memory stays bounded by one window's fleets.  Inline mode holds
 one pool across the whole sweep; multiprocess mode holds one per
 worker chunk.  Scenarios whose campaign outcome is already memoised
@@ -125,11 +128,24 @@ def _prefetch_into_pool(
     not the rule).  Scenarios with a memoised campaign outcome are
     skipped entirely: a memoised campaign must not consult the pool.
 
+    Flushing overlaps with acquisition: only the *first* scenario that
+    submitted lanes triggers a flush here, so the window's first
+    campaign can begin measuring right away.  Everything later
+    scenarios submitted stays pending in the pool and drains as one
+    full cross-campaign wave when the first campaign that needs those
+    lanes primes its fleet (``run_campaign`` flushes only when its own
+    priming found unresolved lanes), instead of the whole window
+    draining before any measurement starts.  Lanes that are still
+    pending when a trace is rendered fall back to lazy scalar
+    simulation inside :meth:`~repro.acquisition.device.Device.activity`,
+    so deferral is never a correctness concern.
+
     The pool's lane/byte budgets still apply — a prefetch larger than
     one flush budget simply flushes mid-walk, which moves batch
     boundaries but never changes a byte of any trace.
     """
     fleets: dict = {}
+    first_flushed = False
     for scenario in scenarios:
         config = scenario_config(scenario)
         attack = scenario.attack
@@ -147,7 +163,9 @@ def _prefetch_into_pool(
             refds, duts = build_campaign_fleet(config, attack)
             fleets[scenario.scenario_id] = (refds, duts)
         prime_fleet_activity((*refds.values(), *duts.values()), pool=pool)
-    pool.flush()
+        if not first_flushed and len(pool):
+            pool.flush()
+            first_flushed = True
     return fleets
 
 

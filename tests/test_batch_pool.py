@@ -235,6 +235,70 @@ class TestPooledPriming:
         )
 
 
+class TestOverlappedFlushing:
+    """Flushing overlaps with acquisition instead of draining up front.
+
+    The executor's prefetch flushes only the first submitting
+    scenario's lanes; the rest of the wave stays pending and drains
+    when a campaign whose priming found unresolved lanes flushes.  A
+    campaign (or bench) whose fleet is already resolved must never
+    force other callers' pending lanes to execute.
+    """
+
+    def test_prefetch_flushes_only_the_first_wave(self, tmp_path):
+        from repro.sweeps.executor import _prefetch_into_pool
+        from repro.sweeps.spec import expand_scenarios
+
+        scenarios = expand_scenarios(pooled_sweep_spec())
+        pool = BatchPool()
+        fleets = _prefetch_into_pool(scenarios, None, pool)
+        assert set(fleets) == {s.scenario_id for s in scenarios}
+        # Exactly one eager flush: the first scenario's wave.  Lanes
+        # from structurally new later scenarios are still pending.
+        assert pool.stats.flushes == 1
+        assert len(pool) > 0
+        # The first scenario's campaign can measure immediately: its
+        # fleet's activity is fully installed.
+        refds, duts = fleets[scenarios[0].scenario_id]
+        for device in (*refds.values(), *duts.values()):
+            assert device._activity_cache
+        # The first campaign that needs the pending wave drains it.
+        for scenario in scenarios[1:]:
+            refds, duts = fleets[scenario.scenario_id]
+            devices = (*refds.values(), *duts.values())
+            if prime_fleet_activity(devices, pool=pool):
+                pool.flush()
+        assert len(pool) == 0
+
+    def test_resolved_campaign_does_not_drain_other_lanes(self):
+        from repro.experiments.runner import build_campaign_fleet
+
+        cfg = quick_config()
+        refds, duts = build_campaign_fleet(cfg, "none")
+        prime_fleet_activity((*refds.values(), *duts.values()))
+        pool = BatchPool()
+        foreign = pool.submit(paper_simulator("IP_A"), 64)
+        # The campaign's structures are already in the process-wide
+        # activity cache, so its priming submits nothing and the
+        # conditional flush leaves the foreign lane pending.
+        run_campaign(cfg, batch_pool=pool)
+        assert not foreign.done()
+        assert len(pool) == 1 and pool.stats.flushes == 0
+        pool.flush()
+        assert foreign.done()
+
+    def test_overlapped_campaign_outcome_is_byte_identical(self):
+        cfg = quick_config()
+        plain = run_campaign(cfg)
+        clear_fleet_activity_cache()
+        pool = BatchPool()
+        pool.submit(paper_simulator("IP_B"), 48)  # unrelated pending lane
+        pooled = run_campaign(cfg, batch_pool=pool)
+        plain_arrays = outcome_arrays(plain)
+        for key, values in outcome_arrays(pooled).items():
+            np.testing.assert_array_equal(values, plain_arrays[key])
+
+
 class TestCampaignMemoisation:
     def test_memoised_campaign_does_not_consult_the_pool(self):
         cache = ArtifactCache()

@@ -150,6 +150,80 @@ class TestGate:
         assert rows == []
 
 
+class TestLongRunVectorisedGate:
+    """The vectorised-tier headline metric is classified and gated.
+
+    ``BENCH_engine.json`` gained a ``long_run_vectorised`` section with
+    the cycle-axis kernel tier; these tests pin that its throughput key
+    is auto-classified (higher-better, machine-dependent) and that the
+    gate enforces it from its first committed baseline onwards.
+    """
+
+    SECTION = {
+        "long_run_vectorised": {
+            "design": "IP_A",
+            "cycles": 262144,
+            "compiled_cycles_per_sec": 100e6,
+        }
+    }
+
+    def test_metric_is_classified_higher_better(self):
+        key = "compiled_cycles_per_sec"
+        assert check_bench.classify(key) == check_bench.HIGHER_BETTER
+        assert not check_bench.is_ratio_metric(key)
+
+    def test_first_run_reports_new_then_gates_after_acceptance(self, tmp_path):
+        write_bench(tmp_path / "base", "BENCH_engine.json", {})
+        write_bench(tmp_path / "cur", "BENCH_engine.json", self.SECTION)
+        rows, errors = check_bench.run_gate(
+            tmp_path / "base", tmp_path / "cur", 0.35, 2.0
+        )
+        assert not errors
+        statuses = {row["metric"]: row["status"] for row in rows}
+        assert (
+            statuses["long_run_vectorised.compiled_cycles_per_sec"] == "new"
+        )
+        # Accept the first baseline; the metric is now gated.
+        check_bench.update_baselines(tmp_path / "base", tmp_path / "cur")
+        collapsed = {
+            "long_run_vectorised": dict(
+                self.SECTION["long_run_vectorised"],
+                compiled_cycles_per_sec=10e6,
+            )
+        }
+        write_bench(tmp_path / "cur", "BENCH_engine.json", collapsed)
+        rows, _ = check_bench.run_gate(
+            tmp_path / "base", tmp_path / "cur", 0.35, 2.0
+        )
+        statuses = {row["metric"]: row["status"] for row in rows}
+        assert (
+            statuses["long_run_vectorised.compiled_cycles_per_sec"]
+            == "regression"
+        )
+
+    def test_disappearing_metric_fails_the_gate(self, tmp_path):
+        write_bench(tmp_path / "base", "BENCH_engine.json", self.SECTION)
+        write_bench(tmp_path / "cur", "BENCH_engine.json", {})
+        rows, _ = check_bench.run_gate(
+            tmp_path / "base", tmp_path / "cur", 0.35, 2.0
+        )
+        assert rows[0]["status"] == "missing"
+
+    def test_informational_keys_of_section_stay_ungated(self, tmp_path):
+        shifted = {
+            "long_run_vectorised": dict(
+                self.SECTION["long_run_vectorised"], cycles=512
+            )
+        }
+        write_bench(tmp_path / "base", "BENCH_engine.json", self.SECTION)
+        write_bench(tmp_path / "cur", "BENCH_engine.json", shifted)
+        rows, _ = check_bench.run_gate(
+            tmp_path / "base", tmp_path / "cur", 0.35, 2.0
+        )
+        gated = {row["metric"] for row in rows}
+        assert gated == {"long_run_vectorised.compiled_cycles_per_sec"}
+
+
 class TestMainEntry:
     def test_exit_codes_and_report(self, tmp_path, monkeypatch, capsys):
         write_bench(tmp_path / "base", "BENCH_x.json", {"a": {"speedup": 10.0}})

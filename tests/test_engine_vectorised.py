@@ -1,0 +1,368 @@
+"""Golden equivalence tests for the cycle-axis vectorised tier.
+
+The compiled engine's third tier steps only the *sequential residue*
+(registers on feedback cycles, transition tables, ports and their
+fan-in) cycle by cycle and reconstructs every feed-forward wire column
+for all cycles at once with numpy kernels.  Like batching, the tier is
+an execution strategy, never a semantic choice: every test here proves
+byte-identity against the scalar generated loop (itself bit-identical
+to the interpreted oracle) — for every paper design, ragged cycle
+counts, memoised long runs, forced-core components and the composition
+with the batch axis — or pins the tier-selection and invalidation
+contracts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.designs import (
+    PAPER_IP_NAMES,
+    PERIOD_CYCLES,
+    build_ip,
+    build_paper_ip,
+)
+from repro.fsm.counters import build_lfsr
+from repro.hdl import (
+    CompileError,
+    DRegister,
+    Incrementer,
+    InputPort,
+    LookupLogic,
+    Netlist,
+    Simulator,
+    TransitionTable,
+    XorArray,
+    compile_netlist,
+    run_batch,
+)
+from repro.hdl.component import Component
+from repro.hdl.engine import MEMO_MIN_CYCLES
+
+
+def paper_netlist(ip_name):
+    return build_paper_ip(ip_name).netlist
+
+
+def engine_trio(build):
+    """(vectorised, compiled-scalar, interpreted) simulators of one design."""
+    return tuple(
+        Simulator(build(), engine=choice)
+        for choice in ("vectorised", "compiled", "interpreted")
+    )
+
+
+def assert_traces_equal(a, b):
+    assert a.channels == b.channels
+    assert a.matrix.shape == b.matrix.shape
+    np.testing.assert_array_equal(a.matrix, b.matrix)
+
+
+def feedback_only_netlist():
+    """A design that is *all* sequential residue: FSM loop, no slices."""
+    netlist = Netlist("residue")
+    state = netlist.wire("st", 3)
+    nxt = netlist.wire("nx", 3)
+    netlist.add(TransitionTable("tt", state, nxt, {i: (i + 1) % 5 for i in range(5)}))
+    netlist.add(DRegister("reg", nxt, state))
+    return netlist
+
+
+def peeled_chain_netlist():
+    """Registers *off* the feedback cycle become shift kernels.
+
+    A counter loop drives a three-deep register pipeline; only the
+    loop register is sequential residue, the pipeline is peeled onto
+    the cycle axis (plan depth 3).
+    """
+    netlist = Netlist("peeled")
+    count = netlist.wire("count", 4)
+    nxt = netlist.wire("nxt", 4)
+    s1 = netlist.wire("s1", 4)
+    s2 = netlist.wire("s2", 4)
+    s3 = netlist.wire("s3", 4)
+    mixed = netlist.wire("mixed", 4)
+    netlist.add(Incrementer("inc", count, nxt))
+    netlist.add(DRegister("loop", nxt, count))
+    netlist.add(DRegister("p1", count, s1))
+    netlist.add(DRegister("p2", s1, s2))
+    netlist.add(DRegister("p3", s2, s3))
+    netlist.add(XorArray("mix", count, s3, mixed))
+    return netlist
+
+
+class TestPaperDesignGoldenEquivalence:
+    @pytest.mark.parametrize("ip_name", PAPER_IP_NAMES)
+    @pytest.mark.parametrize("cycles", [1, 7, PERIOD_CYCLES, 3 * PERIOD_CYCLES + 5])
+    def test_activity_matches_both_oracles(self, ip_name, cycles):
+        vectorised, scalar, interpreted = engine_trio(
+            lambda: paper_netlist(ip_name)
+        )
+        trace = vectorised.run(cycles)
+        assert_traces_equal(trace, scalar.run(cycles))
+        assert_traces_equal(trace, interpreted.run(cycles))
+
+    @pytest.mark.parametrize("ip_name", PAPER_IP_NAMES)
+    def test_post_run_wire_state_matches_scalar(self, ip_name):
+        vectorised, scalar, _ = engine_trio(lambda: paper_netlist(ip_name))
+        cycles = PERIOD_CYCLES + 3
+        vectorised.run(cycles)
+        scalar.run(cycles)
+        for name, wire in vectorised.netlist.wires.items():
+            other = scalar.netlist.wires[name]
+            assert (wire.value, wire.previous) == (other.value, other.previous)
+
+    @pytest.mark.parametrize("ip_name", PAPER_IP_NAMES)
+    def test_register_sequences_match_interpreted(self, ip_name):
+        vectorised, _, interpreted = engine_trio(lambda: paper_netlist(ip_name))
+        registers = [
+            c.name
+            for c in vectorised.netlist.components
+            if isinstance(c, DRegister)
+        ]
+        assert registers
+        for name in registers:
+            assert vectorised.state_sequence(
+                name, 2 * PERIOD_CYCLES
+            ) == interpreted.state_sequence(name, 2 * PERIOD_CYCLES)
+
+    def test_nonpositive_cycles_rejected_identically(self):
+        vectorised, scalar, _ = engine_trio(lambda: paper_netlist("IP_A"))
+        for simulator in (vectorised, scalar):
+            with pytest.raises(ValueError, match="cycles must be positive"):
+                simulator.run(0)
+
+
+class TestTierSelection:
+    def test_paper_designs_select_the_vectorised_tier(self):
+        for ip_name in PAPER_IP_NAMES:
+            auto = Simulator(paper_netlist(ip_name))
+            assert auto.engine_name == "compiled"
+            assert auto._engine.tier == "vectorised"
+
+    def test_compiled_choice_pins_the_scalar_oracle(self):
+        scalar = Simulator(paper_netlist("IP_A"), engine="compiled")
+        assert scalar._engine.tier == "scalar"
+        assert scalar._engine.vectorise is False
+
+    def test_pure_residue_design_falls_back_to_scalar(self):
+        # Every wire sits on the FSM feedback path, so the kernel plan
+        # reconstructs nothing and "auto" keeps the scalar loop.
+        auto = Simulator(feedback_only_netlist())
+        assert auto._engine.tier == "scalar"
+        forced = Simulator(feedback_only_netlist(), engine="vectorised")
+        assert_traces_equal(
+            forced.run(64),
+            Simulator(feedback_only_netlist(), engine="compiled").run(64),
+        )
+
+    def test_vectorised_choice_raises_on_uncompilable_netlists(self):
+        class Opaque(Component):
+            pass
+
+        netlist = Netlist("custom")
+        netlist.add(Opaque("mystery"))
+        with pytest.raises(CompileError):
+            Simulator(netlist, engine="vectorised")
+        # "auto" quietly falls back to the interpreted loop instead.
+        assert Simulator(netlist).engine_name == "interpreted"
+
+
+class TestRaggedAndContinuation:
+    @pytest.mark.parametrize("cycles", [2, 3, 5, 63, 255, 257])
+    def test_odd_cycle_counts(self, cycles):
+        vectorised, scalar, _ = engine_trio(lambda: paper_netlist("IP_B"))
+        assert_traces_equal(vectorised.run(cycles), scalar.run(cycles))
+
+    def test_continuation_without_reset(self):
+        vectorised, scalar, _ = engine_trio(lambda: paper_netlist("IP_C"))
+        for cycles, reset in ((100, True), (50, False), (7, False)):
+            assert_traces_equal(
+                vectorised.run(cycles, reset=reset),
+                scalar.run(cycles, reset=reset),
+            )
+
+    def test_continuation_with_input_ports(self):
+        def build():
+            netlist = Netlist("ports")
+            stim = netlist.wire("stim", 4)
+            mixed = netlist.wire("mixed", 4)
+            state = netlist.wire("state", 4)
+            netlist.add(InputPort("pad", stim, stimulus=lambda c: (3 * c) & 0xF))
+            netlist.add(XorArray("mix", stim, state, mixed))
+            netlist.add(DRegister("reg", mixed, state))
+            return netlist
+
+        vectorised, scalar, interpreted = engine_trio(build)
+        for cycles, reset in ((33, True), (21, False)):
+            trace = vectorised.run(cycles, reset=reset)
+            assert_traces_equal(trace, scalar.run(cycles, reset=reset))
+            assert_traces_equal(trace, interpreted.run(cycles, reset=reset))
+
+
+class TestMemoisedLongRuns:
+    @pytest.mark.parametrize("ip_name", PAPER_IP_NAMES)
+    def test_periodic_designs_tile_bit_identically(self, ip_name):
+        vectorised, scalar, _ = engine_trio(lambda: paper_netlist(ip_name))
+        cycles = 16 * PERIOD_CYCLES
+        assert cycles >= MEMO_MIN_CYCLES
+        assert_traces_equal(vectorised.run(cycles), scalar.run(cycles))
+
+    def test_memo_threshold_boundaries(self):
+        vectorised, scalar, _ = engine_trio(lambda: paper_netlist("IP_A"))
+        for cycles in (MEMO_MIN_CYCLES - 1, MEMO_MIN_CYCLES, MEMO_MIN_CYCLES + 1):
+            assert_traces_equal(vectorised.run(cycles), scalar.run(cycles))
+
+    def test_long_nonperiodic_run_matches(self):
+        # A maximal-length LFSR does not re-enter its state within the
+        # run, so the memoised stepping never tiles; the kernel
+        # reconstruction must cope with a full-length core trace.
+        def build():
+            netlist = Netlist("lfsr")
+            build_lfsr(netlist, 16, [15, 14, 12, 3], seed=1)
+            return netlist
+
+        vectorised, scalar, _ = engine_trio(build)
+        assert_traces_equal(vectorised.run(2048), scalar.run(2048))
+
+    def test_peeled_register_chain_tiles_with_depth(self):
+        # Peeled (acyclic) registers delay periodicity by the chain
+        # depth; tiling must start at re-entry + depth, not re-entry.
+        vectorised = Simulator(peeled_chain_netlist(), engine="vectorised")
+        scalar = Simulator(peeled_chain_netlist(), engine="compiled")
+        assert vectorised._engine.tier == "vectorised"
+        for cycles in (40, MEMO_MIN_CYCLES + 37, 4 * MEMO_MIN_CYCLES):
+            assert_traces_equal(vectorised.run(cycles), scalar.run(cycles))
+
+
+class TestForcedCoreComponents:
+    def test_opaque_lookup_logic_stays_on_the_scalar_path(self):
+        def build():
+            netlist = Netlist("opaque")
+            count = netlist.wire("count", 4)
+            nxt = netlist.wire("nxt", 4)
+            twisted = netlist.wire("twisted", 4)
+            netlist.add(Incrementer("inc", count, nxt))
+            netlist.add(DRegister("reg", nxt, count))
+            netlist.add(
+                LookupLogic("lut", [count], twisted, lambda v: (v * 7 + 3) & 0xF)
+            )
+            return netlist
+
+        vectorised, scalar, interpreted = engine_trio(build)
+        trace = vectorised.run(200)
+        assert_traces_equal(trace, scalar.run(200))
+        assert_traces_equal(trace, interpreted.run(200))
+
+    def test_lookup_error_raises_identically(self):
+        def build():
+            netlist = Netlist("doomed")
+            count = netlist.wire("count", 4)
+            nxt = netlist.wire("nxt", 4)
+            out = netlist.wire("out", 4)
+
+            def explode(v):
+                if v == 5:
+                    raise RuntimeError("boom at 5")
+                return v ^ 3
+
+            netlist.add(Incrementer("inc", count, nxt))
+            netlist.add(DRegister("reg", nxt, count))
+            netlist.add(LookupLogic("lut", [count], out, explode))
+            return netlist
+
+        for choice in ("vectorised", "compiled"):
+            with pytest.raises(RuntimeError, match="boom at 5"):
+                Simulator(build(), engine=choice).run(32)
+
+    def test_partial_transition_table_raises_key_error(self):
+        def build():
+            netlist = Netlist("partial")
+            state = netlist.wire("st", 3)
+            nxt = netlist.wire("nx", 3)
+            netlist.add(TransitionTable("tt", state, nxt, {0: 1, 1: 2}))
+            netlist.add(DRegister("reg", nxt, state))
+            return netlist
+
+        for choice in ("vectorised", "compiled"):
+            with pytest.raises(KeyError, match="no transition entry"):
+                Simulator(build(), engine=choice).run(16)
+
+
+class TestBatchComposition:
+    def lanes(self, n=5):
+        return [
+            compile_netlist(build_ip(f"ip_{k}", "gray", k).netlist)
+            for k in range(n)
+        ]
+
+    def test_vectorised_batch_matches_scalar_batch(self):
+        cycles = [PERIOD_CYCLES, 7, 64, PERIOD_CYCLES + 9, 1]
+        kernel = run_batch(self.lanes(), cycles, vectorise=True)
+        scalar = run_batch(self.lanes(), cycles, vectorise=False)
+        for a, b in zip(kernel, scalar):
+            assert_traces_equal(a, b)
+
+    def test_memoised_batch_composition(self):
+        cycles = [16 * PERIOD_CYCLES, MEMO_MIN_CYCLES, 3, 8 * PERIOD_CYCLES, 77]
+        kernel = run_batch(self.lanes(), cycles, vectorise=True)
+        scalar = run_batch(self.lanes(), cycles, vectorise=False)
+        for a, b in zip(kernel, scalar):
+            assert_traces_equal(a, b)
+
+    def test_batch_write_back_matches_scalar_run(self):
+        batched = self.lanes(3)
+        run_batch(batched, 100, vectorise=True)
+        for k, engine in enumerate(batched):
+            reference = Simulator(
+                build_ip("ref", "gray", k).netlist, engine="compiled"
+            )
+            reference.run(100)
+            for name, wire in engine.netlist.wires.items():
+                other = reference.netlist.wires[name]
+                assert (wire.value, wire.previous) == (other.value, other.previous)
+
+    def test_auto_batch_matches_per_engine_runs(self):
+        batched = self.lanes()
+        traces = run_batch(batched, PERIOD_CYCLES)
+        for k, trace in enumerate(traces):
+            reference = Simulator(
+                build_ip("ref", "gray", k).netlist, engine="compiled"
+            ).run(PERIOD_CYCLES)
+            assert_traces_equal(trace, reference)
+
+
+class TestInvalidationToken:
+    def test_mutation_after_compile_raises(self):
+        netlist = paper_netlist("IP_A")
+        engine = compile_netlist(netlist)
+        engine.run(8)
+        netlist.components[0].invalidate_compiled()
+        assert netlist.compile_generation == 1
+        with pytest.raises(CompileError, match="modified after compilation"):
+            engine.run(8)
+
+    def test_stale_engine_refuses_batch_execution(self):
+        netlists = [build_ip(f"ip_{k}", "gray", k).netlist for k in range(2)]
+        engines = [compile_netlist(n) for n in netlists]
+        netlists[1].components[0].invalidate_compiled()
+        with pytest.raises(CompileError, match="modified after compilation"):
+            run_batch(engines, 16)
+
+    def test_simulator_self_heals_by_recompiling(self):
+        simulator = Simulator(paper_netlist("IP_B"))
+        before = simulator.run(32)
+        simulator.netlist.components[0].invalidate_compiled()
+        after = simulator.run(32)  # refresh recompiles, no error
+        assert_traces_equal(before, after)
+
+    def test_fresh_compile_after_invalidation_works(self):
+        netlist = feedback_only_netlist()
+        engine = compile_netlist(netlist)
+        netlist.component("tt").invalidate_compiled()
+        with pytest.raises(CompileError):
+            engine.run(4)
+        recompiled = compile_netlist(netlist)
+        assert_traces_equal(
+            recompiled.run(16),
+            Simulator(feedback_only_netlist(), engine="interpreted").run(16),
+        )
