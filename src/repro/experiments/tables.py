@@ -46,8 +46,18 @@ PAPER_TABLE1_DELTAS: Dict[str, float] = {
 
 #: Table II of the paper: variances of the correlation sets.
 PAPER_TABLE2_VARIANCES: Dict[str, Dict[str, float]] = {
-    "IP_A": {"DUT#1": 1.612e-5, "DUT#2": 1.831e-4, "DUT#3": 6.443e-5, "DUT#4": 1.477e-4},
-    "IP_B": {"DUT#1": 2.925e-4, "DUT#2": 1.928e-5, "DUT#3": 3.008e-4, "DUT#4": 3.502e-5},
+    "IP_A": {
+        "DUT#1": 1.612e-5,
+        "DUT#2": 1.831e-4,
+        "DUT#3": 6.443e-5,
+        "DUT#4": 1.477e-4,
+    },
+    "IP_B": {
+        "DUT#1": 2.925e-4,
+        "DUT#2": 1.928e-5,
+        "DUT#3": 3.008e-4,
+        "DUT#4": 3.502e-5,
+    },
     "IP_C": {"DUT#1": 1.18e-4, "DUT#2": 1.66e-4, "DUT#3": 9.90e-7, "DUT#4": 1.47e-4},
     "IP_D": {"DUT#1": 1.91e-4, "DUT#2": 1.04e-5, "DUT#3": 1.53e-4, "DUT#4": 3.04e-6},
 }
