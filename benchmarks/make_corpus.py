@@ -1,0 +1,189 @@
+"""Regenerate the synthetic benchmark circuits under benchmarks/netlists/.
+
+The vendored corpus pairs the classic hand-written ``c17.v`` with
+deterministic ISCAS-85-*style* synthetic circuits: random gate-level
+DAGs (combinational) and register-rich sequential netlists in the
+structural subset :mod:`repro.hdl.verilog_parse` accepts.  Generation
+is seeded, so running this script always reproduces the committed
+files byte-for-byte::
+
+    python benchmarks/make_corpus.py
+
+The generator builds strictly topologically ordered gate lists, so the
+emitted circuits are acyclic by construction and every wire has exactly
+one driver.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import List, Tuple
+
+NETLISTS_DIR = Path(__file__).resolve().parent / "netlists"
+
+#: (gate type, weight) for the random draw; NAND-heavy like ISCAS-85.
+GATE_WEIGHTS: Tuple[Tuple[str, int], ...] = (
+    ("nand", 5),
+    ("nor", 2),
+    ("and", 2),
+    ("or", 2),
+    ("xor", 1),
+    ("xnor", 1),
+    ("not", 1),
+)
+
+
+def _draw_gate(rng: random.Random) -> str:
+    total = sum(weight for _, weight in GATE_WEIGHTS)
+    pick = rng.randrange(total)
+    for gate, weight in GATE_WEIGHTS:
+        pick -= weight
+        if pick < 0:
+            return gate
+    raise AssertionError("unreachable")
+
+
+def _decl_lines(keyword: str, names: List[str], per_line: int = 8) -> List[str]:
+    lines = []
+    for start in range(0, len(names), per_line):
+        chunk = ", ".join(names[start : start + per_line])
+        lines.append(f"  {keyword} {chunk};")
+    return lines
+
+
+def generate_combinational(
+    name: str, n_inputs: int, n_gates: int, n_outputs: int, seed: int
+) -> str:
+    """A random combinational gate DAG in ISCAS-85 style."""
+    rng = random.Random(seed)
+    inputs = [f"G{i}" for i in range(1, n_inputs + 1)]
+    available = list(inputs)
+    gates: List[Tuple[str, str, str, List[str]]] = []
+    internal: List[str] = []
+    for index in range(n_gates):
+        out = f"G{n_inputs + index + 1}"
+        gate = _draw_gate(rng)
+        fanin = 1 if gate == "not" else rng.choice((2, 2, 2, 3))
+        # Bias toward recent wires so depth grows with size.
+        pool = available[-24:] if len(available) > 24 else available
+        ins = rng.sample(pool, min(fanin, len(pool)))
+        if gate != "not" and len(ins) < 2:
+            ins = ins + rng.sample(available, 1)
+        gates.append((gate, f"U{index + 1}", out, ins))
+        internal.append(out)
+        available.append(out)
+    outputs = internal[-n_outputs:]
+    wires = [wire for wire in internal if wire not in outputs]
+
+    lines = [
+        f"// {name} — synthetic ISCAS-85-style combinational benchmark.",
+        f"// {n_inputs} inputs, {n_gates} gates, {n_outputs} outputs;",
+        "// regenerate with `python benchmarks/make_corpus.py`.",
+        f"module {name} ({', '.join(inputs + outputs)});",
+        "",
+    ]
+    lines.extend(_decl_lines("input", inputs))
+    lines.extend(_decl_lines("output", outputs))
+    lines.append("")
+    lines.extend(_decl_lines("wire", wires))
+    lines.append("")
+    for gate, instance, out, ins in gates:
+        terminals = ", ".join([out] + ins)
+        lines.append(f"  {gate} {instance} ({terminals});")
+    lines.append("")
+    lines.append("endmodule")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def generate_sequential(
+    name: str,
+    n_inputs: int,
+    n_gates: int,
+    n_registers: int,
+    n_outputs: int,
+    seed: int,
+) -> str:
+    """A random sequential circuit: gate DAG + one-register always blocks.
+
+    Register outputs join the combinational wire pool from the start
+    (registers legally break cycles), and each register samples a late
+    gate output, so state genuinely feeds back through the logic.
+    """
+    rng = random.Random(seed)
+    inputs = [f"G{i}" for i in range(1, n_inputs + 1)]
+    reg_outs = [f"R{i}" for i in range(1, n_registers + 1)]
+    available = list(inputs) + list(reg_outs)
+    gates: List[Tuple[str, str, str, List[str]]] = []
+    internal: List[str] = []
+    for index in range(n_gates):
+        out = f"G{n_inputs + index + 1}"
+        gate = _draw_gate(rng)
+        fanin = 1 if gate == "not" else rng.choice((2, 2, 2, 3))
+        pool = available[-24:] if len(available) > 24 else available
+        ins = rng.sample(pool, min(fanin, len(pool)))
+        if gate != "not" and len(ins) < 2:
+            ins = ins + rng.sample(available, 1)
+        gates.append((gate, f"U{index + 1}", out, ins))
+        internal.append(out)
+        available.append(out)
+    # Each register's D comes from the back half of the gate list.
+    tail = internal[len(internal) // 2 :]
+    reg_ds = [rng.choice(tail) for _ in reg_outs]
+    outputs = internal[-n_outputs:]
+    wires = [wire for wire in internal if wire not in outputs]
+
+    lines = [
+        f"// {name} — synthetic sequential benchmark "
+        f"({n_registers} registers, {n_gates} gates).",
+        "// regenerate with `python benchmarks/make_corpus.py`.",
+        f"module {name} ({', '.join(['clk', 'rst'] + inputs + outputs)});",
+        "",
+        "  input clk, rst;",
+    ]
+    lines.extend(_decl_lines("input", inputs))
+    lines.extend(_decl_lines("output", outputs))
+    lines.append("")
+    lines.extend(_decl_lines("wire", wires))
+    lines.extend(_decl_lines("reg", reg_outs))
+    lines.append("")
+    for gate, instance, out, ins in gates:
+        terminals = ", ".join([out] + ins)
+        lines.append(f"  {gate} {instance} ({terminals});")
+    lines.append("")
+    for reg, d in zip(reg_outs, reg_ds):
+        reset_value = rng.randrange(2)
+        lines.append(f"  always @(posedge clk) begin // {reg}_dff")
+        lines.append("    if (rst)")
+        lines.append(f"      {reg} <= 1'd{reset_value};")
+        lines.append("    else")
+        lines.append(f"      {reg} <= {d};")
+        lines.append("  end")
+    lines.append("")
+    lines.append("endmodule")
+    lines.append("")
+    return "\n".join(lines)
+
+
+#: The committed corpus: (filename, generator call).
+CORPUS = (
+    ("c160_synth.v", lambda: generate_combinational("c160_synth", 12, 160, 8, 85160)),
+    ("c640_synth.v", lambda: generate_combinational("c640_synth", 16, 640, 12, 85640)),
+    (
+        "s220_synth.v",
+        lambda: generate_sequential("s220_synth", 10, 220, 16, 8, 89220),
+    ),
+)
+
+
+def main() -> None:
+    NETLISTS_DIR.mkdir(parents=True, exist_ok=True)
+    for filename, build in CORPUS:
+        path = NETLISTS_DIR / filename
+        path.write_text(build(), encoding="utf-8")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

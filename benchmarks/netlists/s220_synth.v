@@ -1,0 +1,358 @@
+// s220_synth — synthetic sequential benchmark (16 registers, 220 gates).
+// regenerate with `python benchmarks/make_corpus.py`.
+module s220_synth (clk, rst, G1, G2, G3, G4, G5, G6, G7, G8, G9, G10, G223, G224, G225, G226, G227, G228, G229, G230);
+
+  input clk, rst;
+  input G1, G2, G3, G4, G5, G6, G7, G8;
+  input G9, G10;
+  output G223, G224, G225, G226, G227, G228, G229, G230;
+
+  wire G11, G12, G13, G14, G15, G16, G17, G18;
+  wire G19, G20, G21, G22, G23, G24, G25, G26;
+  wire G27, G28, G29, G30, G31, G32, G33, G34;
+  wire G35, G36, G37, G38, G39, G40, G41, G42;
+  wire G43, G44, G45, G46, G47, G48, G49, G50;
+  wire G51, G52, G53, G54, G55, G56, G57, G58;
+  wire G59, G60, G61, G62, G63, G64, G65, G66;
+  wire G67, G68, G69, G70, G71, G72, G73, G74;
+  wire G75, G76, G77, G78, G79, G80, G81, G82;
+  wire G83, G84, G85, G86, G87, G88, G89, G90;
+  wire G91, G92, G93, G94, G95, G96, G97, G98;
+  wire G99, G100, G101, G102, G103, G104, G105, G106;
+  wire G107, G108, G109, G110, G111, G112, G113, G114;
+  wire G115, G116, G117, G118, G119, G120, G121, G122;
+  wire G123, G124, G125, G126, G127, G128, G129, G130;
+  wire G131, G132, G133, G134, G135, G136, G137, G138;
+  wire G139, G140, G141, G142, G143, G144, G145, G146;
+  wire G147, G148, G149, G150, G151, G152, G153, G154;
+  wire G155, G156, G157, G158, G159, G160, G161, G162;
+  wire G163, G164, G165, G166, G167, G168, G169, G170;
+  wire G171, G172, G173, G174, G175, G176, G177, G178;
+  wire G179, G180, G181, G182, G183, G184, G185, G186;
+  wire G187, G188, G189, G190, G191, G192, G193, G194;
+  wire G195, G196, G197, G198, G199, G200, G201, G202;
+  wire G203, G204, G205, G206, G207, G208, G209, G210;
+  wire G211, G212, G213, G214, G215, G216, G217, G218;
+  wire G219, G220, G221, G222;
+  reg R1, R2, R3, R4, R5, R6, R7, R8;
+  reg R9, R10, R11, R12, R13, R14, R15, R16;
+
+  nor U1 (G11, G3, R16, R15);
+  xor U2 (G12, G7, G8);
+  and U3 (G13, G5, G12, G10);
+  nand U4 (G14, R3, G10);
+  nor U5 (G15, R16, G14);
+  nand U6 (G16, R7, G10);
+  nand U7 (G17, R10, G12);
+  nand U8 (G18, R1, G16, G12);
+  or U9 (G19, R12, G11);
+  nand U10 (G20, G13, R16);
+  nor U11 (G21, R4, R12);
+  or U12 (G22, G15, G19, R7);
+  not U13 (G23, R16);
+  nand U14 (G24, G16, G20);
+  xnor U15 (G25, G21, G13);
+  or U16 (G26, R12, G21);
+  nand U17 (G27, R16, G14);
+  nor U18 (G28, R10, G27);
+  nand U19 (G29, R14, G21);
+  nand U20 (G30, G23, G22, R16);
+  xor U21 (G31, G11, G22, G21);
+  nand U22 (G32, G26, G21);
+  nand U23 (G33, R16, G28, G24);
+  xnor U24 (G34, G25, G26, G13);
+  nor U25 (G35, G17, G18);
+  or U26 (G36, G30, G31);
+  and U27 (G37, G28, G21);
+  nand U28 (G38, G33, G20);
+  xor U29 (G39, G35, G34, G18);
+  nand U30 (G40, G37, G31);
+  or U31 (G41, G32, G20, G40);
+  and U32 (G42, G37, G28);
+  not U33 (G43, G31);
+  xnor U34 (G44, G41, G33);
+  nand U35 (G45, G39, G38, G22);
+  and U36 (G46, G32, G39);
+  or U37 (G47, G42, G37);
+  and U38 (G48, G26, G43);
+  xor U39 (G49, G31, G38);
+  xnor U40 (G50, G47, G29, G35);
+  nand U41 (G51, G27, G38);
+  and U42 (G52, G31, G43);
+  or U43 (G53, G40, G49);
+  nor U44 (G54, G48, G51, G38);
+  nand U45 (G55, G53, G40, G47);
+  not U46 (G56, G44);
+  and U47 (G57, G34, G36);
+  or U48 (G58, G39, G51, G37);
+  xnor U49 (G59, G36, G43);
+  nand U50 (G60, G38, G55);
+  xor U51 (G61, G59, G41);
+  nor U52 (G62, G45, G42);
+  or U53 (G63, G46, G49);
+  xnor U54 (G64, G62, G58, G54);
+  xor U55 (G65, G59, G53, G56);
+  xnor U56 (G66, G48, G56);
+  nand U57 (G67, G66, G57);
+  not U58 (G68, G53);
+  not U59 (G69, G66);
+  xor U60 (G70, G68, G66, G57);
+  nand U61 (G71, G50, G57);
+  xnor U62 (G72, G63, G64);
+  nor U63 (G73, G50, G65);
+  and U64 (G74, G51, G59);
+  nand U65 (G75, G60, G58);
+  nand U66 (G76, G52, G70);
+  and U67 (G77, G63, G58, G76);
+  and U68 (G78, G77, G57);
+  nor U69 (G79, G68, G60);
+  and U70 (G80, G75, G56);
+  or U71 (G81, G61, G77, G72);
+  and U72 (G82, G60, G58);
+  not U73 (G83, G73);
+  or U74 (G84, G66, G65, G60);
+  nor U75 (G85, G83, G81, G62);
+  nand U76 (G86, G62, G65);
+  not U77 (G87, G85);
+  or U78 (G88, G67, G73);
+  or U79 (G89, G81, G77, G83);
+  or U80 (G90, G85, G81, G72);
+  nand U81 (G91, G83, G85);
+  xnor U82 (G92, G81, G88, G72);
+  nor U83 (G93, G91, G70);
+  nand U84 (G94, G75, G87);
+  and U85 (G95, G94, G77);
+  nor U86 (G96, G81, G77, G86);
+  and U87 (G97, G96, G81);
+  not U88 (G98, G82);
+  nor U89 (G99, G96, G95, G77);
+  not U90 (G100, G88);
+  nand U91 (G101, G77, G83);
+  nand U92 (G102, G99, G80);
+  not U93 (G103, G88);
+  nand U94 (G104, G97, G92);
+  nand U95 (G105, G103, G98);
+  or U96 (G106, G104, G96);
+  or U97 (G107, G83, G103);
+  or U98 (G108, G99, G91);
+  nor U99 (G109, G104, G86);
+  xor U100 (G110, G104, G105, G98);
+  or U101 (G111, G107, G91);
+  nand U102 (G112, G108, G93);
+  not U103 (G113, G96);
+  and U104 (G114, G101, G98);
+  nor U105 (G115, G113, G108);
+  xor U106 (G116, G109, G100);
+  or U107 (G117, G116, G95);
+  xnor U108 (G118, G104, G112);
+  nor U109 (G119, G101, G95);
+  or U110 (G120, G106, G98);
+  nand U111 (G121, G107, G118);
+  xnor U112 (G122, G119, G111);
+  nor U113 (G123, G102, G112);
+  nand U114 (G124, G121, G119);
+  and U115 (G125, G104, G111);
+  or U116 (G126, G112, G117);
+  nand U117 (G127, G114, G119, G106);
+  nand U118 (G128, G119, G107);
+  nand U119 (G129, G123, G124, G112);
+  not U120 (G130, G111);
+  xnor U121 (G131, G116, G110);
+  nor U122 (G132, G110, G113);
+  xor U123 (G133, G127, G116, G126);
+  xnor U124 (G134, G117, G122);
+  nand U125 (G135, G129, G131);
+  or U126 (G136, G134, G132);
+  nor U127 (G137, G136, G135);
+  nand U128 (G138, G133, G122);
+  not U129 (G139, G135);
+  and U130 (G140, G137, G135, G138);
+  xnor U131 (G141, G138, G135);
+  nand U132 (G142, G130, G141);
+  and U133 (G143, G141, G123);
+  nand U134 (G144, G120, G138, G131);
+  nor U135 (G145, G131, G144);
+  nand U136 (G146, G131, G142, G139);
+  and U137 (G147, G134, G137, G125);
+  or U138 (G148, G130, G137);
+  xnor U139 (G149, G130, G140);
+  or U140 (G150, G126, G134);
+  or U141 (G151, G146, G150);
+  not U142 (G152, G146);
+  or U143 (G153, G135, G151, G152);
+  nand U144 (G154, G135, G138, G152);
+  nand U145 (G155, G132, G140);
+  nand U146 (G156, G144, G134);
+  nand U147 (G157, G138, G155, G135);
+  or U148 (G158, G150, G147);
+  nand U149 (G159, G148, G150);
+  and U150 (G160, G145, G156, G152);
+  nor U151 (G161, G140, G138);
+  nor U152 (G162, G145, G154);
+  nor U153 (G163, G159, G145, G148);
+  and U154 (G164, G149, G162);
+  or U155 (G165, G156, G157);
+  nor U156 (G166, G156, G148);
+  nand U157 (G167, G145, G165);
+  nand U158 (G168, G157, G153);
+  not U159 (G169, G163);
+  nand U160 (G170, G161, G160);
+  and U161 (G171, G153, G162);
+  nand U162 (G172, G153, G156);
+  nand U163 (G173, G152, G156, G169);
+  nand U164 (G174, G150, G172, G156);
+  or U165 (G175, G173, G155, G169);
+  xnor U166 (G176, G162, G156);
+  nor U167 (G177, G168, G161);
+  and U168 (G178, G175, G171);
+  and U169 (G179, G170, G169, G164);
+  and U170 (G180, G166, G163);
+  xor U171 (G181, G159, G160);
+  not U172 (G182, G163);
+  and U173 (G183, G176, G177, G166);
+  xor U174 (G184, G161, G175);
+  nand U175 (G185, G180, G165);
+  nand U176 (G186, G167, G164, G169);
+  and U177 (G187, G179, G164);
+  xnor U178 (G188, G179, G165);
+  xor U179 (G189, G188, G185);
+  nand U180 (G190, G183, G173);
+  or U181 (G191, G182, G172, G173);
+  and U182 (G192, G183, G186, G174);
+  nand U183 (G193, G185, G189);
+  xor U184 (G194, G192, G179, G181);
+  nor U185 (G195, G173, G172, G193);
+  xor U186 (G196, G187, G182, G174);
+  xor U187 (G197, G177, G185);
+  nand U188 (G198, G177, G191);
+  or U189 (G199, G176, G198);
+  not U190 (G200, G181);
+  xor U191 (G201, G184, G179);
+  nor U192 (G202, G183, G182);
+  or U193 (G203, G189, G184);
+  xor U194 (G204, G202, G194);
+  nand U195 (G205, G186, G191);
+  or U196 (G206, G202, G183);
+  and U197 (G207, G195, G201, G202);
+  nand U198 (G208, G204, G193);
+  xnor U199 (G209, G197, G203);
+  nand U200 (G210, G197, G208, G191);
+  xor U201 (G211, G194, G192);
+  and U202 (G212, G210, G190);
+  xor U203 (G213, G189, G209);
+  not U204 (G214, G208);
+  xor U205 (G215, G191, G210);
+  or U206 (G216, G195, G198);
+  nand U207 (G217, G199, G204, G196);
+  nor U208 (G218, G202, G213);
+  and U209 (G219, G202, G207);
+  nand U210 (G220, G218, G206, G200);
+  or U211 (G221, G218, G202);
+  or U212 (G222, G221, G202);
+  and U213 (G223, G220, G200, G205);
+  nand U214 (G224, G207, G210);
+  not U215 (G225, G220);
+  and U216 (G226, G212, G221);
+  nand U217 (G227, G208, G226, G219);
+  or U218 (G228, G220, G227);
+  or U219 (G229, G225, G218);
+  nand U220 (G230, G216, G229);
+
+  always @(posedge clk) begin // R1_dff
+    if (rst)
+      R1 <= 1'd0;
+    else
+      R1 <= G196;
+  end
+  always @(posedge clk) begin // R2_dff
+    if (rst)
+      R2 <= 1'd1;
+    else
+      R2 <= G208;
+  end
+  always @(posedge clk) begin // R3_dff
+    if (rst)
+      R3 <= 1'd1;
+    else
+      R3 <= G137;
+  end
+  always @(posedge clk) begin // R4_dff
+    if (rst)
+      R4 <= 1'd1;
+    else
+      R4 <= G222;
+  end
+  always @(posedge clk) begin // R5_dff
+    if (rst)
+      R5 <= 1'd1;
+    else
+      R5 <= G124;
+  end
+  always @(posedge clk) begin // R6_dff
+    if (rst)
+      R6 <= 1'd1;
+    else
+      R6 <= G168;
+  end
+  always @(posedge clk) begin // R7_dff
+    if (rst)
+      R7 <= 1'd1;
+    else
+      R7 <= G207;
+  end
+  always @(posedge clk) begin // R8_dff
+    if (rst)
+      R8 <= 1'd1;
+    else
+      R8 <= G213;
+  end
+  always @(posedge clk) begin // R9_dff
+    if (rst)
+      R9 <= 1'd1;
+    else
+      R9 <= G123;
+  end
+  always @(posedge clk) begin // R10_dff
+    if (rst)
+      R10 <= 1'd0;
+    else
+      R10 <= G202;
+  end
+  always @(posedge clk) begin // R11_dff
+    if (rst)
+      R11 <= 1'd0;
+    else
+      R11 <= G152;
+  end
+  always @(posedge clk) begin // R12_dff
+    if (rst)
+      R12 <= 1'd0;
+    else
+      R12 <= G167;
+  end
+  always @(posedge clk) begin // R13_dff
+    if (rst)
+      R13 <= 1'd1;
+    else
+      R13 <= G151;
+  end
+  always @(posedge clk) begin // R14_dff
+    if (rst)
+      R14 <= 1'd1;
+    else
+      R14 <= G205;
+  end
+  always @(posedge clk) begin // R15_dff
+    if (rst)
+      R15 <= 1'd1;
+    else
+      R15 <= G218;
+  end
+  always @(posedge clk) begin // R16_dff
+    if (rst)
+      R16 <= 1'd0;
+    else
+      R16 <= G178;
+  end
+
+endmodule

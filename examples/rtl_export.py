@@ -9,10 +9,17 @@ first FSM period for inspection in GTKWave.
 Run with::
 
     python examples/rtl_export.py [output_dir]
+
+Without an argument the files go to a fresh temporary directory, so
+running the example never litters the working tree (pass an explicit
+directory — e.g. ``rtl_out`` — to keep the files around).  The
+exported module round-trips: ``repro.hdl.verilog_parse`` reads it
+back into a bit-identical netlist (see ``tests/test_verilog_parse.py``).
 """
 
 import os
 import sys
+import tempfile
 
 from repro.experiments.designs import build_paper_ip
 from repro.hdl.vcd import write_vcd
@@ -20,8 +27,11 @@ from repro.hdl.verilog import export_testbench, export_verilog
 
 
 def main() -> None:
-    output_dir = sys.argv[1] if len(sys.argv) > 1 else "rtl_out"
-    os.makedirs(output_dir, exist_ok=True)
+    if len(sys.argv) > 1:
+        output_dir = sys.argv[1]
+        os.makedirs(output_dir, exist_ok=True)
+    else:
+        output_dir = tempfile.mkdtemp(prefix="rtl_export_")
 
     ip = build_paper_ip("IP_B")
     verilog_path = os.path.join(output_dir, "ip_b.v")

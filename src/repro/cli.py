@@ -60,6 +60,7 @@ def _campaign_config(args: argparse.Namespace) -> CampaignConfig:
         measurement_seed=args.seed,
         analysis_seed=args.seed + 1,
         engine=args.engine,
+        design=args.design,
     )
 
 
@@ -252,6 +253,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         axes = dict(DEFAULT_SWEEP_AXES)
     base: Dict[str, object] = dict(DEFAULT_SWEEP_BASE) if args.quick else {}
     base["engine"] = args.engine
+    if args.design != "paper":
+        # Non-default only, so the default grid keeps its digests.
+        base["design"] = args.design
     if args.base:
         base.update(dict(args.base))
     try:
@@ -341,6 +345,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ENGINES,
         default="auto",
         help="netlist simulation path for every manufactured device",
+    )
+    parser.add_argument(
+        "--design",
+        default="paper",
+        help="workload: 'paper' (Fig. 3 IPs) or 'imported:<path>' "
+        "(a structural Verilog circuit, e.g. benchmarks/netlists/c17.v)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 

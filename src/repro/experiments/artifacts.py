@@ -115,7 +115,7 @@ def _digest(kind: str, payload: object) -> str:
 def _fleet_payload(config: "CampaignConfig", fleet_tag: str) -> Dict[str, object]:
     """The *physical* fleet identity: what the silicon and its
     deterministic waveforms depend on."""
-    return {
+    payload = {
         "power_model": _payload(config.power_model),
         "variation": _payload(config.variation),
         "waveform": _payload(config.waveform),
@@ -123,6 +123,11 @@ def _fleet_payload(config: "CampaignConfig", fleet_tag: str) -> Dict[str, object
         "watermarked": config.watermarked,
         "fleet_tag": fleet_tag,
     }
+    # Only non-default designs join the payload, so every digest minted
+    # before the ``design`` field existed stays byte-identical.
+    if config.design != "paper":
+        payload["design"] = config.design
+    return payload
 
 
 def fleet_key(config: "CampaignConfig", fleet_tag: str = "none") -> str:

@@ -52,8 +52,9 @@ class CampaignConfig:
     cache key (see :mod:`repro.experiments.artifacts`):
 
     * **fleet** — ``power_model``, ``variation``, ``waveform``,
-      ``fleet_seed``, ``watermarked``, ``engine`` determine the
-      manufactured silicon (:func:`~repro.experiments.artifacts.fleet_key`);
+      ``fleet_seed``, ``watermarked``, ``design``, ``engine`` determine
+      the manufactured silicon
+      (:func:`~repro.experiments.artifacts.fleet_key`);
     * **measurement** — plus ``noise``, ``adc``, ``measurement_seed``
       and the ``parameters.n1``/``n2`` trace ceilings, they determine
       the acquired trace matrices
@@ -81,6 +82,9 @@ class CampaignConfig:
     watermarked: bool = True
     single_reference: bool = True
     engine: str = "auto"
+    #: ``"paper"`` or ``"imported:<path>"`` — see
+    #: :func:`~repro.experiments.designs.build_device_fleet`.
+    design: str = "paper"
 
 
 @dataclass
@@ -149,6 +153,7 @@ def manufacture_fleet(cfg: CampaignConfig):
         seed=cfg.fleet_seed,
         watermarked=cfg.watermarked,
         engine=cfg.engine,
+        design=cfg.design,
     )
 
 

@@ -56,6 +56,20 @@ class Netlist:
         self._comb_order = None
         return component
 
+    def remove(self, name: str) -> Component:
+        """Remove a component by name; returns it.
+
+        The component's wires stay registered, so the caller can attach
+        a replacement driver (e.g. swapping an imported design's
+        :class:`~repro.hdl.io.InputPort` pads for exerciser logic).
+        """
+        if name not in self._component_names:
+            raise KeyError(f"no component named {name!r} in netlist {self.name!r}")
+        component = self._component_names.pop(name)
+        self.components.remove(component)
+        self._comb_order = None
+        return component
+
     def component(self, name: str) -> Component:
         """Fetch a component by name."""
         if name not in self._component_names:

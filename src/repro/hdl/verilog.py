@@ -1,4 +1,4 @@
-"""Structural Verilog export.
+"""Structural Verilog export (the write half of the HDL frontend).
 
 The netlists in this library are behavioural Python objects, but a
 downstream user of the watermarking scheme ultimately wants RTL they
@@ -9,14 +9,21 @@ reset and the leakage component's pads as outputs.
 
 The export is structural and deliberately boring: one ``always`` block
 per register, one ``assign`` per combinational block, a ``case`` table
-for ROMs and transition tables.  The test suite cross-checks the
-emitted text, not a simulator — running it through a real tool is left
-to the user, but the constructs used are the plainest possible.
+for ROMs and transition tables.  Component names ride in trailing
+``// <name>`` comments and clock-tree loads in ``// repro:`` pragma
+comments, which makes the emitted text *round-trippable*:
+:func:`repro.hdl.verilog_parse.parse_verilog` reads this exact subset
+back into a validated :class:`~repro.hdl.netlist.Netlist`, and for
+every paper design ``parse_verilog(export_verilog(n))`` simulates
+bit-identically to ``n`` (state and activity) on all three engine
+tiers — the invariant pinned in ``tests/test_verilog_parse.py``.
+Running the text through a real tool (Icarus, Verilator, vendor flows)
+still works; the constructs used are the plainest possible.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.hdl.combinational import (
     BinaryToGray,
@@ -47,13 +54,43 @@ def _identifier(name: str) -> str:
     return cleaned or "_anon"
 
 
+class _IdentifierScope:
+    """Collision-free name → identifier mapping for one module.
+
+    Sanitisation is lossy (``a.b`` and ``a_b`` both clean to ``a_b``),
+    which used to silently alias two distinct wires in the emitted
+    text.  The scope detects the collision and uniquifies
+    deterministically in first-use order (``a_b``, ``a_b_2``, ...), so
+    equal names always map to equal identifiers and distinct names
+    never collide.
+    """
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, str] = {}
+        self._taken: set = set()
+
+    def __call__(self, name: str) -> str:
+        mapped = self._by_name.get(name)
+        if mapped is not None:
+            return mapped
+        base = _identifier(name)
+        candidate = base
+        suffix = 1
+        while candidate in self._taken:
+            suffix += 1
+            candidate = f"{base}_{suffix}"
+        self._by_name[name] = candidate
+        self._taken.add(candidate)
+        return candidate
+
+
 def _range(width: int) -> str:
     return f"[{width - 1}:0] " if width > 1 else ""
 
 
-def _emit_register(component: DRegister) -> List[str]:
-    d = _identifier(component.d.name)
-    q = _identifier(component.q.name)
+def _emit_register(component: DRegister, ident: _IdentifierScope) -> List[str]:
+    d = ident(component.d.name)
+    q = ident(component.q.name)
     return [
         f"  always @(posedge clk) begin // {component.name}",
         "    if (rst)",
@@ -76,9 +113,9 @@ def _emit_case_table(
     return lines
 
 
-def _emit_rom(component: SyncROM) -> List[str]:
-    address = _identifier(component.address.name)
-    data = _identifier(component.data.name)
+def _emit_rom(component: SyncROM, ident: _IdentifierScope) -> List[str]:
+    address = ident(component.address.name)
+    data = ident(component.data.name)
     data_width = component.data.width
     addr_width = component.address.width
     lines = [f"  always @(*) begin // {component.name} (ROM)", f"    case ({address})"]
@@ -93,53 +130,53 @@ def _emit_rom(component: SyncROM) -> List[str]:
     return lines
 
 
-def _emit_component(component: Component) -> List[str]:
+def _emit_component(component: Component, ident: _IdentifierScope) -> List[str]:
     if isinstance(component, DRegister):
-        return _emit_register(component)
+        return _emit_register(component, ident)
     if isinstance(component, Constant):
-        out = _identifier(component.output.name)
+        out = ident(component.output.name)
         return [
             f"  assign {out} = {component.output.width}'d{component.value}; "
             f"// {component.name}"
         ]
     if isinstance(component, XorArray):
-        out = _identifier(component.output.name)
-        a = _identifier(component.a.name)
-        b = _identifier(component.b.name)
+        out = ident(component.output.name)
+        a = ident(component.a.name)
+        b = ident(component.b.name)
         return [f"  assign {out} = {a} ^ {b}; // {component.name}"]
     if isinstance(component, Incrementer):
-        out = _identifier(component.output.name)
-        a = _identifier(component.a.name)
+        out = ident(component.output.name)
+        a = ident(component.a.name)
         return [
             f"  assign {out} = {a} + {component.a.width}'d1; // {component.name}"
         ]
     if isinstance(component, BinaryToGray):
-        out = _identifier(component.output.name)
-        a = _identifier(component.a.name)
+        out = ident(component.output.name)
+        a = ident(component.a.name)
         return [f"  assign {out} = {a} ^ ({a} >> 1); // {component.name}"]
     if isinstance(component, GrayToBinary):
-        out = _identifier(component.output.name)
-        a = _identifier(component.a.name)
+        out = ident(component.output.name)
+        a = ident(component.a.name)
         width = component.a.width
         terms = " ^ ".join(f"({a} >> {shift})" for shift in range(width))
         return [f"  assign {out} = {terms}; // {component.name}"]
     if isinstance(component, Mux2):
-        out = _identifier(component.output.name)
+        out = ident(component.output.name)
         return [
-            f"  assign {out} = {_identifier(component.select.name)} ? "
-            f"{_identifier(component.b.name)} : {_identifier(component.a.name)}; "
+            f"  assign {out} = {ident(component.select.name)} ? "
+            f"{ident(component.b.name)} : {ident(component.a.name)}; "
             f"// {component.name}"
         ]
     if isinstance(component, TransitionTable):
         return _emit_case_table(
-            _identifier(component.state.name),
-            _identifier(component.next_state.name),
+            ident(component.state.name),
+            ident(component.next_state.name),
             component.table,
             component.state.width,
             component.name,
         )
     if isinstance(component, SyncROM):
-        return _emit_rom(component)
+        return _emit_rom(component, ident)
     if isinstance(component, LookupLogic):
         # A generic Python function has no structural translation;
         # tabulate it when it has a single input of tractable width.
@@ -149,8 +186,8 @@ def _emit_component(component: Component) -> List[str]:
                 value: component.function(value) for value in range(1 << wire.width)
             }
             return _emit_case_table(
-                _identifier(wire.name),
-                _identifier(component.output.name),
+                ident(wire.name),
+                ident(component.output.name),
                 table,
                 wire.width,
                 component.name,
@@ -159,33 +196,28 @@ def _emit_component(component: Component) -> List[str]:
             f"LookupLogic {component.name!r} is not tabulatable "
             "(multiple inputs or input wider than 16 bits)"
         )
-    if isinstance(component, (ClockTree, OutputPort, InputPort)):
-        return []  # handled at the port level / implicit
+    if isinstance(component, ClockTree):
+        # No structural equivalent; a pragma comment carries the load so
+        # the import frontend can reconstruct the component (and keep
+        # the activity-channel order) on a round-trip.
+        return [f"  // repro: clocktree {component.name} load={component.load!r}"]
+    if isinstance(component, (OutputPort, InputPort)):
+        return []  # handled at the port level
     raise VerilogExportError(
         f"no Verilog translation for component type {type(component).__name__}"
     )
 
 
-def export_verilog(netlist: Netlist, module_name: str = None) -> str:
+def export_verilog(netlist: Netlist, module_name: Optional[str] = None) -> str:
     """Emit one synthesisable Verilog module for a netlist."""
     netlist.validate()
     name = _identifier(module_name if module_name is not None else netlist.name)
+    ident = _IdentifierScope()
 
     registers = [c for c in netlist.components if isinstance(c, DRegister)]
     reg_wires = {id(c.q) for c in registers}
-    comb_driven = set()
-    for component in netlist.components:
-        if not isinstance(component, DRegister):
-            for wire in component.output_wires:
-                comb_driven.add(id(wire))
     output_ports = [c for c in netlist.components if isinstance(c, OutputPort)]
     input_ports = [c for c in netlist.components if isinstance(c, InputPort)]
-
-    ports = ["clk", "rst"]
-    for port in input_ports:
-        ports.append(_identifier(f"{port.name}_in"))
-    for port in output_ports:
-        ports.append(_identifier(f"{port.name}_out"))
 
     lines: List[str] = [
         f"// Generated by repro.hdl.verilog from netlist {netlist.name!r}",
@@ -194,12 +226,12 @@ def export_verilog(netlist: Netlist, module_name: str = None) -> str:
     port_decls = ["  input  wire clk", "  input  wire rst"]
     for port in input_ports:
         port_decls.append(
-            f"  input  wire {_range(port.target.width)}{_identifier(port.name + '_in')}"
+            f"  input  wire {_range(port.target.width)}{ident(port.name + '_in')}"
         )
     for port in output_ports:
         port_decls.append(
             f"  output wire {_range(port.source.width)}"
-            f"{_identifier(port.name + '_out')}"
+            f"{ident(port.name + '_out')}"
         )
     lines.append(",\n".join(port_decls))
     lines.append(");")
@@ -215,26 +247,24 @@ def export_verilog(netlist: Netlist, module_name: str = None) -> str:
             case_targets.add(id(component.output))
     for wire in netlist.wires.values():
         kind = "reg " if id(wire) in reg_wires or id(wire) in case_targets else "wire"
-        lines.append(f"  {kind} {_range(wire.width)}{_identifier(wire.name)};")
+        lines.append(f"  {kind} {_range(wire.width)}{ident(wire.name)};")
     lines.append("")
 
     for port in input_ports:
         lines.append(
-            f"  assign {_identifier(port.target.name)} = "
-            f"{_identifier(port.name + '_in')};"
+            f"  assign {ident(port.target.name)} = {ident(port.name + '_in')};"
         )
     if input_ports:
         lines.append("")
     for component in netlist.components:
-        emitted = _emit_component(component)
+        emitted = _emit_component(component, ident)
         if emitted:
             lines.extend(emitted)
             lines.append("")
 
     for port in output_ports:
         lines.append(
-            f"  assign {_identifier(port.name + '_out')} = "
-            f"{_identifier(port.source.name)};"
+            f"  assign {ident(port.name + '_out')} = {ident(port.source.name)};"
         )
     lines.append("")
     lines.append("endmodule")
@@ -243,7 +273,7 @@ def export_verilog(netlist: Netlist, module_name: str = None) -> str:
 
 def export_testbench(
     netlist: Netlist,
-    module_name: str = None,
+    module_name: Optional[str] = None,
     cycles: int = 256,
     clock_period: int = 10,
 ) -> str:
@@ -260,6 +290,9 @@ def export_testbench(
         raise ValueError("clock_period must exceed 1")
     netlist.validate()
     name = _identifier(module_name if module_name is not None else netlist.name)
+    # Same first-use order as export_verilog's port section, so the
+    # testbench pin identifiers match the module's uniquified ports.
+    ident = _IdentifierScope()
     output_ports = [c for c in netlist.components if isinstance(c, OutputPort)]
     input_ports = [c for c in netlist.components if isinstance(c, InputPort)]
 
@@ -272,19 +305,18 @@ def export_testbench(
     ]
     for port in input_ports:
         lines.append(
-            f"  reg {_range(port.target.width)}"
-            f"{_identifier(port.name + '_in')} = 0;"
+            f"  reg {_range(port.target.width)}{ident(port.name + '_in')} = 0;"
         )
     for port in output_ports:
         lines.append(
-            f"  wire {_range(port.source.width)}{_identifier(port.name + '_out')};"
+            f"  wire {_range(port.source.width)}{ident(port.name + '_out')};"
         )
     connections = ["    .clk(clk)", "    .rst(rst)"]
     for port in input_ports:
-        pin = _identifier(port.name + "_in")
+        pin = ident(port.name + "_in")
         connections.append(f"    .{pin}({pin})")
     for port in output_ports:
-        pin = _identifier(port.name + "_out")
+        pin = ident(port.name + "_out")
         connections.append(f"    .{pin}({pin})")
     lines.append(f"  {name} dut (")
     lines.append(",\n".join(connections))

@@ -5,7 +5,8 @@ level, one trace budget, one fleet).  A :class:`SweepSpec` describes a
 whole *surface*: a cartesian grid (:class:`GridAxis`) and/or random
 samples (:class:`RandomAxis`) over campaign-config fields — noise
 sigma, the n1/n2 trace budgets, ADC resolution, process variation,
-watermarked vs. plain fleets, the simulation engine — plus the special
+watermarked vs. plain fleets, the simulation engine, the workload
+``design`` (paper IPs or an imported circuit) — plus the special
 ``"attack"`` axis that applies a netlist transform from
 :mod:`repro.attacks` to every DUT before measurement.
 
@@ -67,6 +68,7 @@ CONFIG_FIELDS = frozenset(
         "watermarked",
         "single_reference",
         "engine",
+        "design",
         "fleet_seed",
         "measurement_seed",
         "analysis_seed",
