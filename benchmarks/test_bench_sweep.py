@@ -206,7 +206,10 @@ def test_bench_sweep_pooled_repeat(benchmark, results):
     def digests(root):
         out = {}
         for entry in sorted(os.listdir(root)):
-            with open(os.path.join(root, entry), "rb") as handle:
+            path = os.path.join(root, entry)
+            if entry.startswith(".") or not os.path.isfile(path):
+                continue
+            with open(path, "rb") as handle:
                 out[entry] = hashlib.sha256(handle.read()).hexdigest()
         return out
 

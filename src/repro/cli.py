@@ -32,6 +32,18 @@ scenario fleets' netlist simulations are collected and executed in
 shared shape-grouped engine batches that span scenario boundaries,
 with flush budgets tunable via ``--pool-lanes`` / ``--pool-bytes`` —
 store bytes are identical with the pool on or off.
+
+Sweeps degrade gracefully instead of aborting: failures retry with
+backoff (``--max-retries``, default 2 re-attempts) and scenarios that
+exhaust their budget are quarantined under ``<store>/failed/`` while
+the rest of the sweep completes (the command then exits 1 and lists
+them).  ``--scenario-timeout`` / ``--lease-ttl`` switch to lease-based
+scheduling: each attempt runs in an isolated worker process killed on
+timeout, and several sweep invocations may safely share one store root
+— leases keep them off each other's work and a dead worker's
+scenarios are re-leased after the TTL.  ``--scrub`` clears crash
+residue (orphaned temp files and bundles, expired leases) before
+running.
 """
 
 from __future__ import annotations
@@ -227,8 +239,12 @@ def _parse_random_axis(option: str) -> "tuple[str, float, float, bool, bool]":
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sweeps import (
+        FailureLog,
         GridAxis,
+        LeaseManager,
         RandomAxis,
+        RetryPolicy,
+        SchedulerOptions,
         SweepSpec,
         SweepStore,
         expand_scenarios,
@@ -278,6 +294,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     scenarios = expand_scenarios(spec)
     store = SweepStore(args.store)
     workers = args.workers if args.workers else default_workers()
+    if args.max_retries < 0:
+        raise SystemExit("error: --max-retries must be >= 0")
+    retry = RetryPolicy(max_attempts=args.max_retries + 1)
+    scheduler = None
+    if args.scenario_timeout is not None or args.lease_ttl is not None:
+        scheduler_kwargs: Dict[str, object] = {"retry": retry}
+        if args.lease_ttl is not None:
+            scheduler_kwargs["lease_ttl"] = args.lease_ttl
+        if args.scenario_timeout is not None:
+            scheduler_kwargs["scenario_timeout"] = args.scenario_timeout
+        try:
+            scheduler = SchedulerOptions(**scheduler_kwargs)
+        except ValueError as error:
+            raise SystemExit(f"error: invalid scheduler options: {error}")
+    if args.scrub:
+        removed = store.scrub()
+        lease_ttl = args.lease_ttl if args.lease_ttl is not None else 30.0
+        removed += LeaseManager(store.root, lease_ttl).scrub()
+        removed += FailureLog(store.root).scrub(store)
+        print(f"scrubbed {len(removed)} stale file(s) from {store.root}")
     artifacts = None
     if args.share_artifacts or args.artifact_cache:
         from repro.experiments.artifacts import ArtifactOptions
@@ -315,14 +351,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             else ""
         )
         + (", batch pool" if pool is not None else ", no batch pool")
+        + (", lease scheduler" if scheduler is not None else "")
     )
     report = run_sweep(
-        spec, store, n_workers=workers, artifacts=artifacts, pool=pool
+        spec,
+        store,
+        n_workers=workers,
+        artifacts=artifacts,
+        pool=pool,
+        retry=retry,
+        scheduler=scheduler,
     )
     print(
         f"executed {report.n_executed}, "
         f"reused {report.n_cached} already in store"
     )
+    if report.n_retried:
+        print(
+            f"retried {report.n_retried} scenario(s) after transient failures"
+        )
     print()
     axis_names = list(axes) + [field for field, *_ in (args.random or ())]
     index = axis_names[0] if axis_names else "noise.sigma"
@@ -331,6 +378,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     else:
         columns = axis_names[1] if len(axis_names) > 1 else index
     print(render_sweep_summary(store, scenarios, index=index, columns=columns))
+    if report.failed_ids:
+        log = FailureLog(store.root)
+        print()
+        print(
+            f"QUARANTINED {report.n_failed} scenario(s) "
+            f"(see {log.failed_dir}/):"
+        )
+        for scenario_id in report.failed_ids:
+            record = log.load_quarantine(scenario_id) or {}
+            error = record.get("error", {})
+            print(
+                f"  {scenario_id}: {error.get('type', '?')}: "
+                f"{error.get('message', 'no detail recorded')}"
+            )
+        return 1
     return 0
 
 
@@ -458,6 +520,42 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BYTES",
         help="flush the batch pool once the pending requests' estimated "
         "value tensors exceed BYTES (default: library default)",
+    )
+    sweep.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="re-attempts per scenario after its first failure (0 "
+        "disables retry); a scenario that exhausts its budget is "
+        "quarantined under failed/ and the sweep continues",
+    )
+    sweep.add_argument(
+        "--scenario-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill any single scenario attempt after this long and "
+        "retry it (implies lease-based scheduling with isolated "
+        "attempt processes)",
+    )
+    sweep.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="lease time-to-live for lease-based scheduling: a worker "
+        "that misses heartbeats for this long is presumed dead and its "
+        "scenario is re-leased (implies lease-based scheduling; safe "
+        "to run several schedulers on one store root)",
+    )
+    sweep.add_argument(
+        "--scrub",
+        action="store_true",
+        help="before sweeping, remove crash residue from the store "
+        "root (orphaned .tmp-* files, bundles without completion "
+        "records, expired leases, quarantines of completed scenarios); "
+        "only safe when no other sweep is writing to the root",
     )
     sweep.add_argument("--name", default="sweep", help="sweep name")
     sweep.add_argument(

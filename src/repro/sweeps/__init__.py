@@ -8,6 +8,15 @@ bit-identical regardless), interrupt and resume freely (the
 :class:`SweepStore` is content-addressed, so only missing scenarios
 ever execute), then read tidy accuracy/ROC tables back
 (:mod:`repro.sweeps.aggregate`).
+
+Execution is fault-tolerant: failures retry with backoff
+(:class:`RetryPolicy`), exhausted scenarios are quarantined while the
+sweep continues, and :func:`run_scheduled_sweep` (or
+``run_sweep(scheduler=...)``) adds lease-based scheduling — many
+scheduler instances share one store root, worker death is absorbed by
+stale-lease reclamation, and every recovery path is exercised under
+the deterministic fault-injection harness
+(:mod:`repro.sweeps.faultinject`).
 """
 
 from repro.sweeps.aggregate import (
@@ -21,6 +30,23 @@ from repro.sweeps.executor import (
     SweepReport,
     default_workers,
     run_sweep,
+)
+from repro.sweeps.faultinject import (
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_fault_plan,
+    clear_fault_plan,
+    fault_context,
+    fault_point,
+    install_fault_plan,
+)
+from repro.sweeps.scheduler import (
+    FailureLog,
+    LeaseManager,
+    RetryPolicy,
+    SchedulerOptions,
+    run_scheduled_sweep,
 )
 from repro.sweeps.scenario import (
     ATTACKS,
@@ -50,16 +76,28 @@ __all__ = [
     "ATTACKS",
     "ATTACK_FIELD",
     "CONFIG_FIELDS",
+    "FailureLog",
+    "FaultPlan",
+    "FaultRule",
     "GridAxis",
+    "InjectedFault",
+    "LeaseManager",
     "RandomAxis",
+    "RetryPolicy",
     "Scenario",
+    "SchedulerOptions",
     "SweepSpec",
     "SweepReport",
     "SweepStore",
     "accuracy_pivot",
+    "active_fault_plan",
     "apply_attack",
+    "clear_fault_plan",
     "default_workers",
     "expand_scenarios",
+    "fault_context",
+    "fault_point",
+    "install_fault_plan",
     "matching_scores",
     "outcome_arrays",
     "outcome_metrics",
@@ -67,6 +105,7 @@ __all__ = [
     "roc_by_axis",
     "run_scenario",
     "run_scenario_campaign",
+    "run_scheduled_sweep",
     "run_sweep",
     "scenario_config",
     "spec_from_dict",

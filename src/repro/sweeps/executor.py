@@ -1,10 +1,17 @@
-"""Multiprocess sweep execution with incremental resume.
+"""Multiprocess sweep execution with incremental resume and graceful
+degradation.
 
 :func:`run_sweep` expands a :class:`~repro.sweeps.spec.SweepSpec`,
 skips every scenario already present in the
 :class:`~repro.sweeps.store.SweepStore`, and executes the missing ones
 — inline for ``n_workers <= 1``, otherwise on a ``multiprocessing``
-pool in chunked work units.
+pool in chunked work units.  Passing ``scheduler=``
+:class:`~repro.sweeps.scheduler.SchedulerOptions` instead routes
+execution through the lease-based fault-tolerant scheduler
+(:func:`~repro.sweeps.scheduler.run_scheduled_sweep`): attempts run in
+isolated child processes with wall-clock timeouts, leases keep
+concurrent scheduler instances off each other's work, and stale-lease
+reclamation survives worker death.
 
 Determinism: a scenario's result is a pure function of its override
 mapping (all seeds are inside it, derived from the spec), and every
@@ -13,6 +20,20 @@ worker writes results through the same deterministic serialisation.  A
 run; only wall-clock time changes.  Workers write each finished
 scenario to the store *immediately*, so killing a sweep loses at most
 the scenarios in flight — a rerun picks up exactly the missing ones.
+
+Fault tolerance: one failing scenario no longer aborts the sweep.
+Every attempt is wrapped; failures are retried with exponential
+backoff per the :class:`~repro.sweeps.scheduler.RetryPolicy` (attempt
+numbers persist in ``.attempts/`` beside the store, so seeded fault
+plans stay deterministic across runs), and a scenario that exhausts
+its budget is quarantined as a ``failed/<id>.json`` record — the sweep
+continues and the loss surfaces in :attr:`SweepReport.failed_ids`
+instead of discarding every sibling's progress.  Retries rewrite
+results through the store's idempotent atomic publishes, so a
+retried, crashed or duplicated execution still converges on a store
+byte-identical to a clean single-worker run — the invariant is
+exercised under injected faults (:mod:`repro.sweeps.faultinject`) by
+the tier-1 suite and CI's chaos smoke job.
 
 Artifact sharing: passing ``artifacts=``
 :class:`~repro.experiments.artifacts.ArtifactOptions` gives every
@@ -54,8 +75,10 @@ cheap.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -67,7 +90,16 @@ from repro.experiments.artifacts import (
 from repro.acquisition.device import prime_fleet_activity
 from repro.experiments.runner import build_campaign_fleet
 from repro.hdl.batch_pool import BatchPool, BatchPoolOptions
+from repro.sweeps.faultinject import fault_context, fault_point
 from repro.sweeps.scenario import run_scenario
+from repro.sweeps.scheduler import (
+    FailureLog,
+    RetryPolicy,
+    SchedulerOptions,
+    default_owner,
+    error_info,
+    run_scheduled_sweep,
+)
 from repro.sweeps.spec import (
     Scenario,
     SweepSpec,
@@ -90,13 +122,21 @@ POOL_PREFETCH_WINDOW = 8
 
 @dataclass
 class SweepReport:
-    """What one :func:`run_sweep` call did."""
+    """What one :func:`run_sweep` call did.
+
+    ``failed_ids`` are scenarios quarantined this run (retry budget
+    exhausted; see ``failed/<id>.json`` under the store root for the
+    exception detail).  ``retried_ids`` are scenarios that needed more
+    than one attempt, whether they eventually succeeded or not.
+    """
 
     spec_name: str
     store_root: str
     scenario_ids: List[str]
     executed_ids: List[str] = field(default_factory=list)
     cached_ids: List[str] = field(default_factory=list)
+    failed_ids: List[str] = field(default_factory=list)
+    retried_ids: List[str] = field(default_factory=list)
     n_workers: int = 1
 
     @property
@@ -110,6 +150,14 @@ class SweepReport:
     @property
     def n_cached(self) -> int:
         return len(self.cached_ids)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failed_ids)
+
+    @property
+    def n_retried(self) -> int:
+        return len(self.retried_ids)
 
 
 def _prefetch_into_pool(
@@ -147,26 +195,51 @@ def _prefetch_into_pool(
     fleets: dict = {}
     first_flushed = False
     for scenario in scenarios:
-        config = scenario_config(scenario)
-        attack = scenario.attack
-        if artifacts is not None and artifacts.has_outcome(config, attack):
+        try:
+            config = scenario_config(scenario)
+            attack = scenario.attack
+            if artifacts is not None and artifacts.has_outcome(config, attack):
+                continue
+            if artifacts is not None:
+                refds, duts = artifacts.fleet(
+                    config,
+                    attack,
+                    lambda config=config, attack=attack: build_campaign_fleet(
+                        config, attack
+                    ),
+                )
+            else:
+                refds, duts = build_campaign_fleet(config, attack)
+                fleets[scenario.scenario_id] = (refds, duts)
+            prime_fleet_activity((*refds.values(), *duts.values()), pool=pool)
+        except Exception:
+            # A scenario whose fleet cannot even be built must not
+            # starve its window siblings of the pool: the same error
+            # re-raises inside its own execution attempt, where the
+            # retry/quarantine machinery owns it.
             continue
-        if artifacts is not None:
-            refds, duts = artifacts.fleet(
-                config,
-                attack,
-                lambda config=config, attack=attack: build_campaign_fleet(
-                    config, attack
-                ),
-            )
-        else:
-            refds, duts = build_campaign_fleet(config, attack)
-            fleets[scenario.scenario_id] = (refds, duts)
-        prime_fleet_activity((*refds.values(), *duts.values()), pool=pool)
         if not first_flushed and len(pool):
             pool.flush()
             first_flushed = True
     return fleets
+
+
+def _execute_attempt(
+    store: SweepStore,
+    scenario: Scenario,
+    attempt: int,
+    artifacts: Optional[ArtifactCache],
+    fleet,
+    pool: Optional[BatchPool],
+) -> None:
+    """One attempt: run the scenario and publish its result."""
+    with fault_context(scenario.scenario_id, attempt):
+        fault_point("scenario.pre")
+        result = run_scenario(
+            scenario, artifacts=artifacts, fleet=fleet, batch_pool=pool
+        )
+        fault_point("scenario.post")
+        store.put(scenario.scenario_id, result["record"], result["arrays"])
 
 
 def _run_scenarios(
@@ -175,19 +248,28 @@ def _run_scenarios(
     artifacts: Optional[ArtifactCache] = None,
     pool_options: Optional[BatchPoolOptions] = None,
     progress: Optional[Callable[[str, bool], None]] = None,
-) -> List[str]:
-    """Execute a batch of scenarios into the store; returns their ids.
+    retry: Optional[RetryPolicy] = None,
+) -> Tuple[List[str], List[str], List[str]]:
+    """Execute a batch of scenarios into the store.
 
-    This is the one execution body shared by the inline path (all
-    pending scenarios — one pool spans the whole sweep) and by each
+    Returns ``(executed, failed, retried)`` scenario-id lists.  This is
+    the one execution body shared by the inline path (all pending
+    scenarios — one pool spans the whole sweep) and by each
     multiprocess worker (its chunk — one pool spans the chunk).  With
     a pool, scenarios are prefetched and executed in bounded *windows*
     so that at most one window's worth of manufactured fleets is ever
     alive (and, with an artifact cache, a window never overruns the
     fleet LRU into guaranteed re-manufacture); the pool object itself
     persists across windows, so its caches and stats span the sweep.
+
+    Each scenario is attempted up to ``retry.max_attempts`` times with
+    backoff; exhaustion quarantines it (``failed/<id>.json``) and the
+    remaining scenarios keep executing.
     """
     store = SweepStore(store_root)
+    log = FailureLog(store_root)
+    owner = default_owner()
+    retry = retry or RetryPolicy()
     scenarios = list(scenarios)
     pool: Optional[BatchPool] = None
     if pool_options is None:
@@ -199,23 +281,45 @@ def _run_scenarios(
         else:
             window_size = POOL_PREFETCH_WINDOW
     executed: List[str] = []
+    failed: List[str] = []
+    retried: List[str] = []
     for start in range(0, len(scenarios), window_size):
         window = scenarios[start:start + window_size]
         fleets: dict = {}
         if pool is not None:
             fleets = _prefetch_into_pool(window, artifacts, pool)
         for scenario in window:
-            result = run_scenario(
-                scenario,
-                artifacts=artifacts,
-                fleet=fleets.pop(scenario.scenario_id, None),
-                batch_pool=pool,
-            )
-            store.put(scenario.scenario_id, result["record"], result["arrays"])
-            executed.append(scenario.scenario_id)
-            if progress is not None:
-                progress(scenario.scenario_id, True)
-    return executed
+            scenario_id = scenario.scenario_id
+            fleet = fleets.pop(scenario_id, None)
+            failures = 0
+            while True:
+                attempt = log.record_attempt(scenario_id, owner)
+                try:
+                    _execute_attempt(
+                        store, scenario, attempt, artifacts, fleet, pool
+                    )
+                except Exception as error:  # noqa: BLE001 — quarantine path
+                    log.record_error(scenario_id, error_info(error))
+                    failures += 1
+                    if failures >= retry.max_attempts:
+                        log.quarantine(
+                            scenario, error_info(error), attempt, owner
+                        )
+                        failed.append(scenario_id)
+                        break
+                    if scenario_id not in retried:
+                        retried.append(scenario_id)
+                    # Drop the prefetched fleet: if the failure left it
+                    # in a dubious state, the retry remanufactures.
+                    fleet = None
+                    time.sleep(retry.delay(failures))
+                else:
+                    log.clear_quarantine(scenario_id)
+                    executed.append(scenario_id)
+                    if progress is not None:
+                        progress(scenario_id, True)
+                    break
+    return executed, failed, retried
 
 
 def _pool_worker(
@@ -224,12 +328,34 @@ def _pool_worker(
         Tuple[Scenario, ...],
         Optional[ArtifactOptions],
         Optional[BatchPoolOptions],
+        Optional[RetryPolicy],
     ]
-) -> List[str]:
-    """Module-level pool target (must be picklable on every start method)."""
-    store_root, scenarios, options, pool_options = payload
-    artifacts = process_artifact_cache(options) if options is not None else None
-    return _run_scenarios(store_root, scenarios, artifacts, pool_options)
+) -> Tuple[List[str], List[str], List[str]]:
+    """Module-level pool target (must be picklable on every start method).
+
+    Never lets an exception escape into ``imap_unordered`` — a
+    chunk-level catastrophe (store root unwritable, artifact tier
+    corrupt, ...) would otherwise abort the whole sweep and discard
+    every sibling chunk's progress report.  Instead the unfinished
+    scenarios of the chunk are quarantined and reported as failed.
+    """
+    store_root, scenarios, options, pool_options, retry = payload
+    try:
+        artifacts = process_artifact_cache(options) if options is not None else None
+        return _run_scenarios(
+            store_root, scenarios, artifacts, pool_options, retry=retry
+        )
+    except Exception as error:  # noqa: BLE001 — chunk-level catastrophe
+        store = SweepStore(store_root)
+        log = FailureLog(store_root)
+        owner = default_owner()
+        executed = [s.scenario_id for s in scenarios if store.has(s.scenario_id)]
+        failed = []
+        for scenario in scenarios:
+            if not store.has(scenario.scenario_id):
+                log.quarantine(scenario, error_info(error), 0, owner)
+                failed.append(scenario.scenario_id)
+        return executed, failed, []
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -250,6 +376,8 @@ def run_sweep(
     progress: Optional[Callable[[str, bool], None]] = None,
     artifacts: Optional[ArtifactOptions] = None,
     pool: Optional[BatchPoolOptions] = None,
+    retry: Optional[RetryPolicy] = None,
+    scheduler: Optional[SchedulerOptions] = None,
 ) -> SweepReport:
     """Execute every missing scenario of ``spec`` into ``store``.
 
@@ -259,12 +387,31 @@ def run_sweep(
     execution).  ``artifacts`` enables cross-scenario artifact sharing
     and campaign-outcome memoisation; ``pool`` enables the shared
     cross-campaign batch pool (see the module docstring) — results are
-    byte-identical with either on or off.  Returns a
-    :class:`SweepReport`; aggregate results are read back from the
-    store (see :mod:`repro.sweeps.aggregate`).
+    byte-identical with either on or off.
+
+    ``retry`` bounds per-scenario attempts and backoff (default: the
+    stock :class:`~repro.sweeps.scheduler.RetryPolicy`); a scenario
+    that exhausts it is quarantined and the sweep continues.
+    ``scheduler`` switches to lease-based scheduling
+    (:func:`~repro.sweeps.scheduler.run_scheduled_sweep`): isolated
+    attempt processes, scenario timeouts, and safe concurrency of many
+    scheduler instances on one store root (the batch ``pool`` does not
+    apply there).  Returns a :class:`SweepReport`; aggregate results
+    are read back from the store (see :mod:`repro.sweeps.aggregate`).
     """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
+    if scheduler is not None:
+        if retry is not None:
+            scheduler = dataclasses.replace(scheduler, retry=retry)
+        return run_scheduled_sweep(
+            spec,
+            store,
+            options=scheduler,
+            n_workers=n_workers,
+            progress=progress,
+            artifacts=artifacts,
+        )
     scenarios = expand_scenarios(spec)
     report = SweepReport(
         spec_name=spec.name,
@@ -286,10 +433,12 @@ def run_sweep(
 
     if n_workers == 1 or len(pending) == 1:
         cache = process_artifact_cache(artifacts) if artifacts is not None else None
-        executed = _run_scenarios(
-            store.root, pending, cache, pool, progress=progress
+        executed, failed, retried = _run_scenarios(
+            store.root, pending, cache, pool, progress=progress, retry=retry
         )
         report.executed_ids.extend(executed)
+        report.failed_ids.extend(failed)
+        report.retried_ids.extend(retried)
     else:
         n_procs = min(n_workers, len(pending))
         chunksize = max(1, len(pending) // (n_procs * CHUNKS_PER_WORKER))
@@ -298,18 +447,22 @@ def run_sweep(
             for start in range(0, len(pending), chunksize)
         ]
         payloads = [
-            (store.root, chunk, artifacts, pool) for chunk in chunks
+            (store.root, chunk, artifacts, pool, retry) for chunk in chunks
         ]
         with _pool_context().Pool(processes=n_procs) as worker_pool:
-            for scenario_ids in worker_pool.imap_unordered(
+            for executed, failed, retried in worker_pool.imap_unordered(
                 _pool_worker, payloads, chunksize=1
             ):
-                report.executed_ids.extend(scenario_ids)
+                report.executed_ids.extend(executed)
+                report.failed_ids.extend(failed)
+                report.retried_ids.extend(retried)
                 if progress is not None:
-                    for scenario_id in scenario_ids:
+                    for scenario_id in executed:
                         progress(scenario_id, True)
     # Keep reporting deterministic regardless of completion order.
     report.executed_ids.sort()
+    report.failed_ids.sort()
+    report.retried_ids.sort()
     return report
 
 

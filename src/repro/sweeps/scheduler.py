@@ -1,0 +1,615 @@
+"""Lease-based, fault-tolerant scheduling of sweep scenarios.
+
+This is the robustness substrate under distributed sweep execution:
+many scheduler instances (processes or machines) point at one shared
+:class:`~repro.sweeps.store.SweepStore` root and together execute a
+sweep, surviving worker death, stalls, and repeated failures.
+
+Work units and leases
+---------------------
+
+The unit of work is one scenario digest.  Before executing a digest,
+a scheduler claims an *atomic lease file*
+(``<root>/.leases/<id>.lease`` — created with ``O_EXCL``, so exactly
+one claimant wins) recording the owner id, a heartbeat timestamp and
+the lease TTL.  While an attempt runs, the scheduler heartbeats the
+lease; a lease whose heartbeat is older than its TTL is *stale* and
+any scheduler may reclaim it — a dead worker's scenarios are re-leased
+automatically.  Leases are an efficiency mechanism, not a correctness
+one: if a paused-but-alive owner is reclaimed and the digest executes
+twice, both executions produce byte-identical results and publish them
+with atomic, idempotent renames, so the store cannot diverge.
+
+Attempts, retries, quarantine
+-----------------------------
+
+Each attempt runs in a *child process* (so a crash — ``os._exit``,
+SIGKILL, OOM — kills the attempt, never the scheduler) with an
+optional wall-clock timeout after which it is killed.  Failed attempts
+are recorded in ``<root>/.attempts/<id>.json`` (a persistent history:
+attempt numbers survive scheduler restarts, which keeps seeded fault
+plans deterministic across reruns) and retried with exponential
+backoff up to :attr:`RetryPolicy.max_attempts` per scheduler run.  A
+scenario that exhausts its attempts is *quarantined*: a
+``<root>/failed/<id>.json`` record (exception type, message,
+traceback, attempt count) is written and the sweep **continues** —
+one poisoned scenario costs its own result, not the sweep's.  A later
+run re-attempts quarantined scenarios with a fresh budget and clears
+the quarantine record on success, so resume converges once the cause
+is gone.
+
+The standing invariant, now tested *under faults*
+(:mod:`repro.sweeps.faultinject`): any interleaving of crashes,
+retries, timeouts and concurrent schedulers yields a result store
+byte-identical to a clean 1-worker run.  Operational metadata
+(``.leases/``, ``.attempts/``, ``failed/``) lives beside the results
+and is excluded from that identity by construction — result files are
+only ever published through the store's atomic, deterministic writes.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import socket
+import time
+import traceback
+import uuid
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.sweeps.faultinject import fault_context, fault_point
+from repro.sweeps.spec import Scenario, SweepSpec, expand_scenarios
+from repro.sweeps.store import SweepStore
+
+#: Subdirectories of the store root holding operational metadata.
+LEASE_DIR = ".leases"
+ATTEMPT_DIR = ".attempts"
+FAILED_DIR = "failed"
+
+
+def default_owner() -> str:
+    """A unique owner id for one scheduler instance."""
+    return f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-scenario retry budget and exponential backoff schedule."""
+
+    #: Attempts per scenario *per run* (1 = no retry).
+    max_attempts: int = 3
+    #: Delay after the first failed attempt, in seconds.
+    backoff_base: float = 0.1
+    #: Multiplier applied per further failure.
+    backoff_factor: float = 2.0
+    #: Ceiling on any single delay.
+    backoff_max: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def delay(self, failures: int) -> float:
+        """Backoff after the ``failures``-th consecutive failure (1-based)."""
+        if failures < 1:
+            return 0.0
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (failures - 1),
+        )
+
+
+@dataclass(frozen=True)
+class SchedulerOptions:
+    """Tuning knobs of one :func:`run_scheduled_sweep` instance."""
+
+    #: Seconds without a heartbeat after which a lease is stale.
+    lease_ttl: float = 30.0
+    #: Heartbeat period while an attempt runs (default: ``lease_ttl/4``).
+    heartbeat_interval: Optional[float] = None
+    #: Scheduler loop sleep when nothing is runnable.
+    poll_interval: float = 0.05
+    #: Kill any single attempt after this many seconds (None = never).
+    scenario_timeout: Optional[float] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Owner id (default: a fresh ``host:pid:uuid`` per run).
+    owner: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.lease_ttl <= 0:
+            raise ValueError("lease_ttl must be > 0")
+        if self.heartbeat_interval is not None and self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be > 0")
+        if self.scenario_timeout is not None and self.scenario_timeout <= 0:
+            raise ValueError("scenario_timeout must be > 0")
+
+    @property
+    def effective_heartbeat(self) -> float:
+        return self.heartbeat_interval or self.lease_ttl / 4.0
+
+
+def _atomic_write_json(path: str, payload: object) -> None:
+    """Crash-safe JSON write used for all operational metadata."""
+    tmp = f"{path}.tmp-{uuid.uuid4().hex[:8]}"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+class LeaseManager:
+    """Atomic lease files under ``<root>/.leases/``, one per digest.
+
+    A lease is claimed by exclusive file creation — exactly one
+    claimant wins.  Reclaiming a stale lease renames it to a
+    per-claimant scratch name first; the rename succeeds for exactly
+    one reclaimer, so a stale lease is stolen at most once per expiry.
+    """
+
+    def __init__(self, root: str, ttl: float, owner: Optional[str] = None):
+        self.root = root
+        self.ttl = ttl
+        self.owner = owner or default_owner()
+        self.dir = os.path.join(root, LEASE_DIR)
+        os.makedirs(self.dir, exist_ok=True)
+
+    def path(self, scenario_id: str) -> str:
+        return os.path.join(self.dir, f"{scenario_id}.lease")
+
+    def read(self, scenario_id: str) -> Optional[dict]:
+        """The current lease payload, or None when unleased/corrupt."""
+        try:
+            with open(self.path(scenario_id)) as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            # A torn write by a crashed owner: treat as stale below.
+            return {"owner": "?", "heartbeat": 0.0, "ttl": self.ttl}
+
+    def is_stale(self, lease: dict) -> bool:
+        ttl = float(lease.get("ttl", self.ttl))
+        return time.time() - float(lease.get("heartbeat", 0.0)) > ttl
+
+    def _payload(self) -> dict:
+        return {"owner": self.owner, "heartbeat": time.time(), "ttl": self.ttl}
+
+    def acquire(self, scenario_id: str) -> bool:
+        """Claim the digest; False when another live owner holds it."""
+        path = self.path(scenario_id)
+        for _ in range(3):
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                lease = self.read(scenario_id)
+                if lease is None:
+                    continue  # released between open and read; retry
+                if not self.is_stale(lease):
+                    return False
+                # Steal: exactly one reclaimer wins the rename.
+                scratch = f"{path}.stale-{uuid.uuid4().hex[:8]}"
+                try:
+                    os.rename(path, scratch)
+                except FileNotFoundError:
+                    continue  # someone else stole or released it; retry
+                os.unlink(scratch)
+                continue
+            with os.fdopen(fd, "w") as handle:
+                json.dump(self._payload(), handle)
+            return True
+        return False
+
+    def heartbeat(self, scenario_id: str) -> bool:
+        """Refresh our lease; False when we no longer own it."""
+        lease = self.read(scenario_id)
+        if lease is None or lease.get("owner") != self.owner:
+            return False
+        _atomic_write_json(self.path(scenario_id), self._payload())
+        return True
+
+    def release(self, scenario_id: str) -> None:
+        try:
+            os.unlink(self.path(scenario_id))
+        except FileNotFoundError:
+            pass
+
+    def scrub(self) -> List[str]:
+        """Remove expired leases and reclaim scratch; returns paths."""
+        removed: List[str] = []
+        for entry in sorted(os.listdir(self.dir)):
+            path = os.path.join(self.dir, entry)
+            if not os.path.isfile(path):
+                continue
+            if ".stale-" in entry or entry.endswith(".tmp") or ".tmp-" in entry:
+                os.unlink(path)
+                removed.append(path)
+                continue
+            if entry.endswith(".lease"):
+                lease = self.read(entry[: -len(".lease")])
+                if lease is not None and self.is_stale(lease):
+                    os.unlink(path)
+                    removed.append(path)
+        return removed
+
+
+def error_info(error: BaseException) -> Dict[str, object]:
+    """JSON-able description of one failure."""
+    return {
+        "type": type(error).__name__,
+        "message": str(error),
+        "traceback": traceback.format_exc(),
+    }
+
+
+class FailureLog:
+    """Attempt history and quarantine records beside the store.
+
+    ``.attempts/<id>.json`` holds the persistent list of attempts
+    (owner, start time, error once known) — attempt *numbers* are
+    global across runs and schedulers, which keeps seeded fault plans
+    and backoff deterministic under restart.  ``failed/<id>.json`` is
+    the quarantine record of a scenario that exhausted its retry
+    budget; it is cleared the moment the scenario later succeeds.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        self.attempts_dir = os.path.join(root, ATTEMPT_DIR)
+        self.failed_dir = os.path.join(root, FAILED_DIR)
+
+    def attempts_path(self, scenario_id: str) -> str:
+        return os.path.join(self.attempts_dir, f"{scenario_id}.json")
+
+    def failed_path(self, scenario_id: str) -> str:
+        return os.path.join(self.failed_dir, f"{scenario_id}.json")
+
+    def error_scratch_path(self, scenario_id: str, attempt: int) -> str:
+        return os.path.join(
+            self.attempts_dir, f"{scenario_id}.err-{attempt}.json"
+        )
+
+    # -- attempts --------------------------------------------------------
+
+    def history(self, scenario_id: str) -> List[dict]:
+        try:
+            with open(self.attempts_path(scenario_id)) as handle:
+                return list(json.load(handle))
+        except (FileNotFoundError, ValueError):
+            return []
+
+    def record_attempt(self, scenario_id: str, owner: str) -> int:
+        """Append an attempt-start entry; returns its 1-based number.
+
+        Only the lease holder (or the single executor thread working
+        this digest) writes here, so read-modify-write is safe.
+        """
+        os.makedirs(self.attempts_dir, exist_ok=True)
+        history = self.history(scenario_id)
+        history.append({"owner": owner, "started": time.time(), "error": None})
+        _atomic_write_json(self.attempts_path(scenario_id), history)
+        return len(history)
+
+    def record_error(self, scenario_id: str, error: Dict[str, object]) -> None:
+        """Attach the failure detail to the latest attempt entry."""
+        history = self.history(scenario_id)
+        if history:
+            history[-1]["error"] = error
+            _atomic_write_json(self.attempts_path(scenario_id), history)
+
+    # -- quarantine ------------------------------------------------------
+
+    def quarantine(
+        self,
+        scenario: Scenario,
+        error: Dict[str, object],
+        attempts: int,
+        owner: str,
+    ) -> None:
+        os.makedirs(self.failed_dir, exist_ok=True)
+        _atomic_write_json(
+            self.failed_path(scenario.scenario_id),
+            {
+                "scenario_id": scenario.scenario_id,
+                "overrides": dict(scenario.overrides),
+                "attempts": attempts,
+                "owner": owner,
+                "quarantined_at": time.time(),
+                "error": error,
+            },
+        )
+
+    def load_quarantine(self, scenario_id: str) -> Optional[dict]:
+        try:
+            with open(self.failed_path(scenario_id)) as handle:
+                return json.load(handle)
+        except (FileNotFoundError, ValueError):
+            return None
+
+    def quarantined_ids(self) -> List[str]:
+        if not os.path.isdir(self.failed_dir):
+            return []
+        return sorted(
+            entry[: -len(".json")]
+            for entry in os.listdir(self.failed_dir)
+            if entry.endswith(".json")
+        )
+
+    def clear_quarantine(self, scenario_id: str) -> None:
+        try:
+            os.unlink(self.failed_path(scenario_id))
+        except FileNotFoundError:
+            pass
+
+    def scrub(self, store: SweepStore) -> List[str]:
+        """Remove scratch error files and quarantines of completed work."""
+        removed: List[str] = []
+        if os.path.isdir(self.attempts_dir):
+            for entry in sorted(os.listdir(self.attempts_dir)):
+                if ".err-" in entry or ".tmp-" in entry:
+                    path = os.path.join(self.attempts_dir, entry)
+                    os.unlink(path)
+                    removed.append(path)
+        for scenario_id in self.quarantined_ids():
+            if store.has(scenario_id):
+                path = self.failed_path(scenario_id)
+                os.unlink(path)
+                removed.append(path)
+        return removed
+
+
+# -- child-process attempt execution --------------------------------------
+
+#: Child exit code for a failure that was caught and written to the
+#: error scratch file (anything else without a scratch file = crash).
+HANDLED_FAILURE_EXIT = 3
+
+
+def _attempt_child(
+    store_root: str,
+    scenario: Scenario,
+    attempt: int,
+    artifact_options,
+    error_path: str,
+) -> None:
+    """Run one attempt to completion inside a dedicated process.
+
+    Success is communicated through the store itself (the record file
+    appears); handled failures through ``error_path``; crashes through
+    the exit code alone.
+    """
+    from repro.sweeps.scenario import run_scenario
+
+    try:
+        artifacts = None
+        if artifact_options is not None:
+            from repro.experiments.artifacts import process_artifact_cache
+
+            artifacts = process_artifact_cache(artifact_options)
+        store = SweepStore(store_root)
+        with fault_context(scenario.scenario_id, attempt):
+            fault_point("scenario.pre")
+            result = run_scenario(scenario, artifacts=artifacts)
+            fault_point("scenario.post")
+            store.put(
+                scenario.scenario_id, result["record"], result["arrays"]
+            )
+    except Exception as error:  # noqa: BLE001 — the whole point
+        _atomic_write_json(error_path, error_info(error))
+        os._exit(HANDLED_FAILURE_EXIT)
+
+
+@dataclass
+class _Running:
+    process: multiprocessing.process.BaseProcess
+    scenario: Scenario
+    attempt: int
+    error_path: str
+    deadline: Optional[float]
+    next_heartbeat: float
+
+
+def run_scheduled_sweep(
+    spec: SweepSpec,
+    store: SweepStore,
+    options: Optional[SchedulerOptions] = None,
+    n_workers: int = 1,
+    progress: Optional[Callable[[str, bool], None]] = None,
+    artifacts=None,
+):
+    """Execute every missing scenario of ``spec`` under lease scheduling.
+
+    Safe to run concurrently with other ``run_scheduled_sweep`` calls
+    (other processes, other machines over a shared filesystem) on the
+    same store root: leases keep the instances off each other's work,
+    stale-lease reclamation absorbs dead instances, and the store's
+    idempotent atomic writes make even a duplicated execution
+    harmless.  Each attempt runs in a child process, so worker crashes
+    and timeouts are contained and retried per :class:`RetryPolicy`;
+    scenarios that exhaust their budget are quarantined under
+    ``failed/`` and the sweep continues.
+
+    Returns the same :class:`~repro.sweeps.executor.SweepReport` as
+    :func:`~repro.sweeps.executor.run_sweep`, with ``failed_ids`` /
+    ``retried_ids`` filled in.  Scenarios completed by *another*
+    scheduler while this one waited are reported as cached.
+
+    ``artifacts`` (an :class:`~repro.experiments.artifacts
+    .ArtifactOptions`) is forwarded to each attempt child; the on-disk
+    artifact tier is the sharing vehicle across attempts and
+    schedulers.  The cross-campaign batch pool does not apply here —
+    each attempt is deliberately isolated in its own process.
+    """
+    from repro.sweeps.executor import SweepReport, _pool_context
+
+    options = options or SchedulerOptions()
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    owner = options.owner or default_owner()
+    leases = LeaseManager(store.root, options.lease_ttl, owner)
+    log = FailureLog(store.root)
+    ctx = _pool_context()
+
+    scenarios = expand_scenarios(spec)
+    report = SweepReport(
+        spec_name=spec.name,
+        store_root=store.root,
+        scenario_ids=[s.scenario_id for s in scenarios],
+        n_workers=n_workers,
+    )
+    pending: Dict[str, Scenario] = {}
+    for scenario in scenarios:
+        if store.has(scenario.scenario_id):
+            report.cached_ids.append(scenario.scenario_id)
+            if progress is not None:
+                progress(scenario.scenario_id, False)
+        else:
+            pending[scenario.scenario_id] = scenario
+
+    running: Dict[str, _Running] = {}
+    failures_this_run: Dict[str, int] = {}
+    next_due: Dict[str, float] = {}
+    retried: set = set()
+
+    def read_error(run: _Running) -> Dict[str, object]:
+        try:
+            with open(run.error_path) as handle:
+                error = json.load(handle)
+        except (FileNotFoundError, ValueError):
+            error = {
+                "type": "WorkerCrash",
+                "message": (
+                    "attempt process died with exit code "
+                    f"{run.process.exitcode} before completing"
+                ),
+                "traceback": "",
+            }
+        try:
+            os.unlink(run.error_path)
+        except FileNotFoundError:
+            pass
+        return error
+
+    def attempt_failed(scenario_id: str, run: _Running, error) -> None:
+        log.record_error(scenario_id, error)
+        leases.release(scenario_id)
+        del running[scenario_id]
+        failures = failures_this_run.get(scenario_id, 0) + 1
+        failures_this_run[scenario_id] = failures
+        if failures >= options.retry.max_attempts:
+            log.quarantine(run.scenario, error, run.attempt, owner)
+            report.failed_ids.append(scenario_id)
+            del pending[scenario_id]
+        else:
+            retried.add(scenario_id)
+            next_due[scenario_id] = time.monotonic() + options.retry.delay(failures)
+
+    while pending:
+        progressed = False
+
+        # Reap / supervise running attempts.
+        for scenario_id in list(running):
+            run = running[scenario_id]
+            if run.process.is_alive():
+                now = time.monotonic()
+                if run.deadline is not None and now >= run.deadline:
+                    run.process.kill()
+                    run.process.join()
+                    attempt_failed(
+                        scenario_id,
+                        run,
+                        {
+                            "type": "ScenarioTimeout",
+                            "message": (
+                                "attempt exceeded the scenario timeout of "
+                                f"{options.scenario_timeout}s and was killed"
+                            ),
+                            "traceback": "",
+                        },
+                    )
+                    progressed = True
+                elif now >= run.next_heartbeat:
+                    leases.heartbeat(scenario_id)
+                    run.next_heartbeat = now + options.effective_heartbeat
+                continue
+            run.process.join()
+            if store.has(scenario_id):
+                leases.release(scenario_id)
+                log.clear_quarantine(scenario_id)
+                del running[scenario_id]
+                del pending[scenario_id]
+                report.executed_ids.append(scenario_id)
+                if progress is not None:
+                    progress(scenario_id, True)
+            else:
+                attempt_failed(scenario_id, run, read_error(run))
+            progressed = True
+
+        # Fill free worker slots with due, claimable scenarios.
+        now = time.monotonic()
+        for scenario_id, scenario in list(pending.items()):
+            if len(running) >= n_workers:
+                break
+            if scenario_id in running:
+                continue
+            if now < next_due.get(scenario_id, 0.0):
+                continue
+            if store.has(scenario_id):
+                # Another scheduler finished it while we waited.
+                del pending[scenario_id]
+                report.cached_ids.append(scenario_id)
+                if progress is not None:
+                    progress(scenario_id, False)
+                progressed = True
+                continue
+            if not leases.acquire(scenario_id):
+                continue  # a live owner is on it; wait or reclaim later
+            attempt = log.record_attempt(scenario_id, owner)
+            error_path = log.error_scratch_path(scenario_id, attempt)
+            process = ctx.Process(
+                target=_attempt_child,
+                args=(store.root, scenario, attempt, artifacts, error_path),
+            )
+            process.start()
+            start = time.monotonic()
+            running[scenario_id] = _Running(
+                process=process,
+                scenario=scenario,
+                attempt=attempt,
+                error_path=error_path,
+                deadline=(
+                    start + options.scenario_timeout
+                    if options.scenario_timeout is not None
+                    else None
+                ),
+                next_heartbeat=start + options.effective_heartbeat,
+            )
+            progressed = True
+
+        if pending and not progressed:
+            time.sleep(options.poll_interval)
+
+    report.executed_ids.sort()
+    report.cached_ids.sort()
+    report.failed_ids.sort()
+    report.retried_ids.extend(sorted(retried))
+    return report
+
+
+__all__ = [
+    "ATTEMPT_DIR",
+    "FAILED_DIR",
+    "LEASE_DIR",
+    "FailureLog",
+    "LeaseManager",
+    "RetryPolicy",
+    "SchedulerOptions",
+    "default_owner",
+    "error_info",
+    "run_scheduled_sweep",
+]

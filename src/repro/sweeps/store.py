@@ -16,6 +16,16 @@ that :meth:`SweepStore.has` would wrongly count as done.  Re-running a
 sweep (or a *different* sweep that happens to share scenarios) executes
 only the missing digests.
 
+Durability: every publish fsyncs the data file before the rename and
+the store directory after it, so "record present" implies "record
+*durably* complete" across power loss, not just process death — the
+invariant the lease scheduler (:mod:`repro.sweeps.scheduler`) builds
+on.  :meth:`SweepStore.scrub` removes the residue a crash can leave
+behind (orphaned ``.tmp-*`` files and ``.npz`` bundles with no
+completion record); it must only run while no writer is active on the
+root, so it is an explicit operation (CLI ``sweep --scrub``), never
+automatic.
+
 The class is deliberately generic — a directory of (record, arrays)
 pairs keyed by digest with atomic, deterministic writes — so other
 content-addressed tiers reuse it: the artifact cache
@@ -34,7 +44,26 @@ from typing import Dict, Iterator, List, Mapping, Optional
 import numpy as np
 
 from repro.acquisition.io import load_array_bundle, save_array_bundle
+from repro.sweeps.faultinject import fault_point
 from repro.sweeps.spec import canonical_json
+
+
+def _fsync_file(path: str) -> None:
+    """Flush one file's contents to stable storage."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: str) -> None:
+    """Flush a directory entry table (makes renames durable)."""
+    fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 class SweepStore:
@@ -84,7 +113,10 @@ class SweepStore:
         try:
             with os.fdopen(handle, "wb") as stream:
                 stream.write(data)
+                stream.flush()
+                os.fsync(stream.fileno())
             os.replace(tmp, path)
+            _fsync_dir(self.root)
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)
@@ -96,8 +128,16 @@ class SweepStore:
         record: Mapping[str, object],
         arrays: Optional[Mapping[str, np.ndarray]] = None,
     ) -> None:
-        """Persist one completed scenario (bundle first, record last)."""
+        """Persist one completed scenario (bundle first, record last).
+
+        Each publish is fsync-then-rename-then-dir-fsync, so once the
+        record file exists the whole result survives power loss.  The
+        write is idempotent: re-putting the same scenario atomically
+        replaces both files with identical bytes, which is what lets
+        retries and duplicated lease executions converge.
+        """
         if arrays:
+            fault_point("store.put_arrays")
             bundle = tempfile.mkstemp(
                 dir=self.root, prefix=".tmp-", suffix=".npz"
             )
@@ -106,11 +146,17 @@ class SweepStore:
                 save_array_bundle(
                     bundle[1], arrays, metadata={"scenario_id": scenario_id}
                 )
+                _fsync_file(bundle[1])
                 os.replace(bundle[1], self.arrays_path(scenario_id))
+                # No directory fsync here: the record write below ends
+                # with one, which flushes both renames together (same
+                # directory), so the record entry can never be durable
+                # without the bundle entry.
             except BaseException:
                 if os.path.exists(bundle[1]):
                     os.unlink(bundle[1])
                 raise
+        fault_point("store.put_record")
         payload = (canonical_json(dict(record)) + "\n").encode()
         self._atomic_write(self.record_path(scenario_id), payload)
 
@@ -130,6 +176,35 @@ class SweepStore:
     def records(self) -> List[Dict[str, object]]:
         """Every completed record, in digest order."""
         return [self.get(scenario_id) for scenario_id in self.ids()]
+
+    # -- hygiene -----------------------------------------------------------
+
+    def scrub(self) -> List[str]:
+        """Remove crash residue; returns the paths removed.
+
+        Residue is anything a killed writer can leave at the top level
+        of the root: ``.tmp-*`` staging files and ``.npz`` bundles
+        whose completion record never landed (the bundle is published
+        before the record, so a crash in between orphans it).
+        Completed ``(record, bundle)`` pairs are never touched.
+
+        Only call while no writer is active on this root — an in-flight
+        writer's staging file looks identical to a dead one's.
+        """
+        removed: List[str] = []
+        for entry in sorted(os.listdir(self.root)):
+            path = os.path.join(self.root, entry)
+            if not os.path.isfile(path):
+                continue
+            orphaned_bundle = entry.endswith(".npz") and not os.path.exists(
+                self.record_path(entry[: -len(".npz")])
+            )
+            if entry.startswith(".tmp-") or orphaned_bundle:
+                os.unlink(path)
+                removed.append(path)
+        if removed:
+            _fsync_dir(self.root)
+        return removed
 
     def size_bytes(self) -> int:
         """Total bytes of all completed records and bundles on disk."""

@@ -78,9 +78,14 @@ def broken_netlist(name: str = "broken") -> Netlist:
 
 
 def store_digests(root):
+    # Top-level result files only; .attempts/ etc. are outside the
+    # byte-identity invariant.
     digests = {}
     for entry in sorted(os.listdir(root)):
-        with open(os.path.join(root, entry), "rb") as handle:
+        path = os.path.join(root, entry)
+        if entry.startswith(".") or not os.path.isfile(path):
+            continue
+        with open(path, "rb") as handle:
             digests[entry] = hashlib.sha256(handle.read()).hexdigest()
     return digests
 

@@ -238,6 +238,45 @@ class TestSweepCLI:
                 "--store", str(tmp_path / "store"),
             ])
 
+    def test_quarantined_scenario_reported_and_exit_nonzero(
+        self, tmp_path, capsys
+    ):
+        # n1 = 2 < k = 4 can never run; with the retry budget exhausted
+        # the scenario is quarantined, the sibling completes, and the
+        # command signals degradation through its exit code.
+        status = main([
+            "sweep",
+            "--axis", "parameters.n1=32,2",
+            "--base", "parameters.k=4",
+            "--base", "parameters.m=4",
+            "--base", "parameters.n2=64",
+            "--store", str(tmp_path / "store"),
+            "--workers", "1",
+            "--max-retries", "0",
+        ])
+        assert status == 1
+        out = capsys.readouterr().out
+        assert "QUARANTINED 1 scenario(s)" in out
+        assert "executed 1" in out
+
+    def test_scheduler_flags_run_lease_mode(self, tmp_path, capsys):
+        assert main([
+            "sweep",
+            "--axis", "noise.sigma=0.5,1.0",
+            "--base", "parameters.k=4",
+            "--base", "parameters.m=4",
+            "--base", "parameters.n1=32",
+            "--base", "parameters.n2=64",
+            "--store", str(tmp_path / "store"),
+            "--workers", "2",
+            "--lease-ttl", "10",
+            "--scenario-timeout", "120",
+            "--scrub",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "lease scheduler" in out
+        assert "executed 2" in out
+
     def test_random_int_modifier_for_integer_fields(self, tmp_path, capsys):
         assert main([
             "sweep",

@@ -1,0 +1,487 @@
+"""Tests for lease-based scheduling, retry/quarantine, store hygiene,
+and the byte-identity invariant under injected faults."""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.sweeps import (
+    FailureLog,
+    FaultPlan,
+    FaultRule,
+    GridAxis,
+    LeaseManager,
+    RetryPolicy,
+    SchedulerOptions,
+    SweepSpec,
+    SweepStore,
+    clear_fault_plan,
+    expand_scenarios,
+    install_fault_plan,
+    run_scheduled_sweep,
+    run_sweep,
+)
+from repro.sweeps.faultinject import FAULT_PLAN_ENV
+
+from tests.test_sweeps import QUICK, store_digests
+
+#: No backoff sleeps: recovery tests already pay for child processes.
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.0)
+FAST_OPTS = SchedulerOptions(
+    lease_ttl=10.0, poll_interval=0.01, retry=FAST_RETRY
+)
+
+
+@pytest.fixture(autouse=True)
+def _pristine_plan(monkeypatch):
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+    clear_fault_plan()
+    yield
+    clear_fault_plan()
+
+
+def spec_of(sigmas, name="sched", seed=5):
+    return SweepSpec(
+        name=name,
+        grid=(GridAxis("noise.sigma", tuple(sigmas)),),
+        base=dict(QUICK),
+        seed=seed,
+    )
+
+
+def set_env_plan(monkeypatch, *rules, seed=0):
+    """Activate a plan for this process *and* forked attempt children."""
+    plan = FaultPlan(rules=tuple(rules), seed=seed)
+    monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+    clear_fault_plan()
+    return plan
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_base=0.1, backoff_factor=2.0, backoff_max=0.3
+        )
+        assert policy.delay(0) == 0.0
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.3)  # capped
+        assert policy.delay(9) == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(backoff_base=-1.0)
+
+
+class TestSchedulerOptions:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="lease_ttl"):
+            SchedulerOptions(lease_ttl=0.0)
+        with pytest.raises(ValueError, match="scenario_timeout"):
+            SchedulerOptions(scenario_timeout=0.0)
+
+    def test_heartbeat_defaults_to_quarter_ttl(self):
+        assert SchedulerOptions(lease_ttl=20.0).effective_heartbeat == 5.0
+        assert (
+            SchedulerOptions(heartbeat_interval=1.5).effective_heartbeat == 1.5
+        )
+
+
+class TestLeaseManager:
+    def test_acquire_is_exclusive_until_released(self, tmp_path):
+        a = LeaseManager(str(tmp_path), ttl=30.0, owner="a")
+        b = LeaseManager(str(tmp_path), ttl=30.0, owner="b")
+        assert a.acquire("x")
+        assert not b.acquire("x")
+        a.release("x")
+        assert b.acquire("x")
+
+    def test_stale_lease_is_stolen(self, tmp_path):
+        dead = LeaseManager(str(tmp_path), ttl=0.05, owner="dead")
+        live = LeaseManager(str(tmp_path), ttl=30.0, owner="live")
+        assert dead.acquire("x")
+        time.sleep(0.1)
+        assert live.acquire("x")
+        assert live.read("x")["owner"] == "live"
+
+    def test_heartbeat_requires_ownership(self, tmp_path):
+        a = LeaseManager(str(tmp_path), ttl=30.0, owner="a")
+        b = LeaseManager(str(tmp_path), ttl=30.0, owner="b")
+        assert a.acquire("x")
+        assert a.heartbeat("x")
+        assert not b.heartbeat("x")
+        assert not a.heartbeat("never-leased")
+
+    def test_heartbeat_keeps_lease_fresh(self, tmp_path):
+        mgr = LeaseManager(str(tmp_path), ttl=30.0, owner="a")
+        mgr.acquire("x")
+        before = mgr.read("x")["heartbeat"]
+        time.sleep(0.02)
+        mgr.heartbeat("x")
+        assert mgr.read("x")["heartbeat"] > before
+
+    def test_corrupt_lease_treated_as_stale(self, tmp_path):
+        mgr = LeaseManager(str(tmp_path), ttl=30.0, owner="a")
+        with open(mgr.path("x"), "w") as handle:
+            handle.write("{torn")
+        assert mgr.acquire("x")
+
+    def test_scrub_removes_expired_and_scratch(self, tmp_path):
+        mgr = LeaseManager(str(tmp_path), ttl=0.05, owner="a")
+        mgr.acquire("expired")
+        with open(mgr.path("x") + ".stale-dead", "w") as handle:
+            handle.write("{}")
+        time.sleep(0.1)
+        fresh = LeaseManager(str(tmp_path), ttl=30.0, owner="b")
+        fresh.acquire("held")
+        removed = fresh.scrub()
+        assert len(removed) == 2
+        assert fresh.read("held") is not None
+        assert fresh.read("expired") is None
+
+
+class TestFailureLog:
+    def test_attempt_numbers_are_persistent(self, tmp_path):
+        log = FailureLog(str(tmp_path))
+        assert log.record_attempt("x", "owner-1") == 1
+        assert log.record_attempt("x", "owner-1") == 2
+        # A fresh instance (new process / new run) continues the count.
+        assert FailureLog(str(tmp_path)).record_attempt("x", "owner-2") == 3
+        owners = [entry["owner"] for entry in log.history("x")]
+        assert owners == ["owner-1", "owner-1", "owner-2"]
+
+    def test_record_error_attaches_to_latest(self, tmp_path):
+        log = FailureLog(str(tmp_path))
+        log.record_attempt("x", "o")
+        log.record_attempt("x", "o")
+        log.record_error("x", {"type": "Boom", "message": "m", "traceback": ""})
+        history = log.history("x")
+        assert history[0]["error"] is None
+        assert history[1]["error"]["type"] == "Boom"
+
+    def test_quarantine_round_trip_and_clear(self, tmp_path):
+        log = FailureLog(str(tmp_path))
+        scenario = expand_scenarios(spec_of((0.5,)))[0]
+        log.quarantine(
+            scenario,
+            {"type": "Boom", "message": "m", "traceback": "tb"},
+            attempts=3,
+            owner="o",
+        )
+        assert log.quarantined_ids() == [scenario.scenario_id]
+        record = log.load_quarantine(scenario.scenario_id)
+        assert record["attempts"] == 3
+        assert record["error"]["type"] == "Boom"
+        assert record["overrides"] == dict(scenario.overrides)
+        log.clear_quarantine(scenario.scenario_id)
+        assert log.quarantined_ids() == []
+
+    def test_scrub_drops_scratch_and_satisfied_quarantines(self, tmp_path):
+        store = SweepStore(str(tmp_path / "store"))
+        log = FailureLog(store.root)
+        scenario = expand_scenarios(spec_of((0.5,)))[0]
+        log.record_attempt(scenario.scenario_id, "o")
+        with open(log.error_scratch_path(scenario.scenario_id, 1), "w") as f:
+            f.write("{}")
+        log.quarantine(scenario, {"type": "Boom"}, attempts=1, owner="o")
+        store.put(scenario.scenario_id, {"ok": True})  # later success
+        removed = log.scrub(store)
+        assert len(removed) == 2
+        assert log.quarantined_ids() == []
+        assert log.history(scenario.scenario_id)  # history is kept
+
+
+class TestStoreScrub:
+    def test_removes_tmp_and_orphaned_bundles_only(self, tmp_path):
+        store = SweepStore(str(tmp_path / "store"))
+        store.put("done", {"v": 1}, {"x": np.ones(2)})
+        with open(os.path.join(store.root, ".tmp-stale"), "w") as f:
+            f.write("junk")
+        with open(store.arrays_path("orphan"), "wb") as f:
+            f.write(b"junk")
+        removed = store.scrub()
+        assert sorted(os.path.basename(p) for p in removed) == [
+            ".tmp-stale",
+            "orphan.npz",
+        ]
+        assert store.ids() == ["done"]
+        assert os.path.exists(store.arrays_path("done"))
+
+    def test_crash_between_bundle_and_record_is_recoverable(self, tmp_path):
+        # A fault at the commit point leaves an orphaned bundle; scrub
+        # removes it and a re-put converges to the clean bytes.
+        clean = SweepStore(str(tmp_path / "clean"))
+        clean.put("abc", {"v": 1}, {"x": np.arange(3.0)})
+        store = SweepStore(str(tmp_path / "store"))
+        install_fault_plan(
+            FaultPlan(rules=(FaultRule(site="store.put_record"),))
+        )
+        with pytest.raises(Exception, match="injected"):
+            store.put("abc", {"v": 1}, {"x": np.arange(3.0)})
+        assert not store.has("abc")  # bundle orphaned, record absent
+        clear_fault_plan()
+        store.scrub()
+        store.put("abc", {"v": 1}, {"x": np.arange(3.0)})
+        assert store_digests(store.root) == store_digests(clean.root)
+
+
+class TestExecutorFaultTolerance:
+    def test_transient_fault_retried_byte_identically(self, tmp_path):
+        spec = spec_of((0.5, 1.0))
+        clean = SweepStore(str(tmp_path / "clean"))
+        run_sweep(spec, clean, n_workers=1)
+
+        victim = expand_scenarios(spec)[0].scenario_id
+        install_fault_plan(
+            FaultPlan(
+                rules=(
+                    FaultRule(site="scenario.pre", key=victim, max_attempt=2),
+                )
+            )
+        )
+        store = SweepStore(str(tmp_path / "store"))
+        report = run_sweep(spec, store, n_workers=1, retry=FAST_RETRY)
+        assert report.failed_ids == []
+        assert report.retried_ids == [victim]
+        assert store_digests(store.root) == store_digests(clean.root)
+
+    def test_commit_point_fault_retried_byte_identically(self, tmp_path):
+        spec = spec_of((0.5,))
+        clean = SweepStore(str(tmp_path / "clean"))
+        run_sweep(spec, clean, n_workers=1)
+
+        install_fault_plan(
+            FaultPlan(
+                rules=(FaultRule(site="store.put_record", max_attempt=1),)
+            )
+        )
+        store = SweepStore(str(tmp_path / "store"))
+        report = run_sweep(spec, store, n_workers=1, retry=FAST_RETRY)
+        assert report.failed_ids == []
+        assert store_digests(store.root) == store_digests(clean.root)
+
+    def test_quarantined_scenario_reattempted_on_resume(self, tmp_path):
+        spec = spec_of((0.5, 1.0))
+        clean = SweepStore(str(tmp_path / "clean"))
+        run_sweep(spec, clean, n_workers=1)
+
+        victim = expand_scenarios(spec)[0].scenario_id
+        install_fault_plan(
+            FaultPlan(rules=(FaultRule(site="scenario.pre", key=victim),))
+        )
+        store = SweepStore(str(tmp_path / "store"))
+        report = run_sweep(
+            spec,
+            store,
+            n_workers=1,
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+        )
+        assert report.failed_ids == [victim]
+        assert len(store) == 1  # the sibling completed
+        assert FailureLog(store.root).load_quarantine(victim)["attempts"] == 2
+
+        clear_fault_plan()  # the cause is gone; resume converges
+        resumed = run_sweep(spec, store, n_workers=1, retry=FAST_RETRY)
+        assert resumed.executed_ids == [victim]
+        assert resumed.n_cached == 1
+        assert FailureLog(store.root).load_quarantine(victim) is None
+        assert store_digests(store.root) == store_digests(clean.root)
+
+
+class TestScheduledSweep:
+    def test_clean_run_matches_plain_executor(self, tmp_path):
+        spec = spec_of((0.5, 1.0))
+        serial = SweepStore(str(tmp_path / "serial"))
+        run_sweep(spec, serial, n_workers=1)
+        scheduled = SweepStore(str(tmp_path / "sched"))
+        report = run_scheduled_sweep(
+            spec, scheduled, options=FAST_OPTS, n_workers=2
+        )
+        assert report.n_executed == 2
+        assert report.failed_ids == [] and report.retried_ids == []
+        assert store_digests(scheduled.root) == store_digests(serial.root)
+        assert os.listdir(os.path.join(scheduled.root, ".leases")) == []
+
+    def test_sigkilled_worker_recovered_byte_identically(
+        self, tmp_path, monkeypatch
+    ):
+        spec = spec_of((0.5, 1.0))
+        clean = SweepStore(str(tmp_path / "clean"))
+        run_sweep(spec, clean, n_workers=1)
+
+        # Every scenario's first attempt dies by SIGKILL mid-scenario.
+        set_env_plan(
+            monkeypatch,
+            FaultRule(site="scenario.pre", kind="sigkill", max_attempt=1),
+        )
+        store = SweepStore(str(tmp_path / "store"))
+        report = run_scheduled_sweep(spec, store, options=FAST_OPTS, n_workers=2)
+        assert report.failed_ids == []
+        assert sorted(report.retried_ids) == sorted(report.scenario_ids)
+        assert store_digests(store.root) == store_digests(clean.root)
+        for scenario_id in report.scenario_ids:
+            history = FailureLog(store.root).history(scenario_id)
+            assert history[0]["error"]["type"] == "WorkerCrash"
+            assert len(history) == 2
+
+    def test_crash_then_rerun_converges(self, tmp_path, monkeypatch):
+        # Budget of 1: the crash quarantines the scenario.  The rerun
+        # (same plan still active!) sees persistent attempt 2, so the
+        # rule no longer fires and the store converges byte-identically.
+        spec = spec_of((0.5,))
+        clean = SweepStore(str(tmp_path / "clean"))
+        run_sweep(spec, clean, n_workers=1)
+        scenario_id = expand_scenarios(spec)[0].scenario_id
+
+        set_env_plan(
+            monkeypatch,
+            FaultRule(site="scenario.post", kind="crash", max_attempt=1),
+        )
+        store = SweepStore(str(tmp_path / "store"))
+        options = SchedulerOptions(
+            lease_ttl=10.0,
+            poll_interval=0.01,
+            retry=RetryPolicy(max_attempts=1, backoff_base=0.0),
+        )
+        first = run_scheduled_sweep(spec, store, options=options)
+        assert first.failed_ids == [scenario_id]
+        assert not store.has(scenario_id)
+
+        second = run_scheduled_sweep(spec, store, options=options)
+        assert second.executed_ids == [scenario_id]
+        assert FailureLog(store.root).load_quarantine(scenario_id) is None
+        assert store_digests(store.root) == store_digests(clean.root)
+
+    def test_timeout_kills_and_retries(self, tmp_path, monkeypatch):
+        spec = spec_of((0.5,))
+        scenario_id = expand_scenarios(spec)[0].scenario_id
+        set_env_plan(
+            monkeypatch,
+            FaultRule(
+                site="scenario.pre", kind="delay", delay=60.0, max_attempt=1
+            ),
+        )
+        store = SweepStore(str(tmp_path / "store"))
+        options = SchedulerOptions(
+            lease_ttl=10.0,
+            poll_interval=0.01,
+            scenario_timeout=0.5,
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+        )
+        report = run_scheduled_sweep(spec, store, options=options)
+        assert report.executed_ids == [scenario_id]
+        assert report.retried_ids == [scenario_id]
+        history = FailureLog(store.root).history(scenario_id)
+        assert history[0]["error"]["type"] == "ScenarioTimeout"
+
+    def test_expired_lease_is_reclaimed(self, tmp_path):
+        spec = spec_of((0.5,))
+        scenario_id = expand_scenarios(spec)[0].scenario_id
+        store = SweepStore(str(tmp_path / "store"))
+        # A dead worker's lease, long expired.
+        dead = LeaseManager(store.root, ttl=0.05, owner="dead-worker")
+        assert dead.acquire(scenario_id)
+        time.sleep(0.1)
+        report = run_scheduled_sweep(spec, store, options=FAST_OPTS)
+        assert report.executed_ids == [scenario_id]
+        assert store.has(scenario_id)
+
+    def test_live_lease_is_respected(self, tmp_path):
+        # A fresh lease held by someone else: the scheduler must wait,
+        # then treat the externally-published result as cached.
+        spec = spec_of((0.5,))
+        scenario = expand_scenarios(spec)[0]
+        store = SweepStore(str(tmp_path / "store"))
+        other = LeaseManager(store.root, ttl=30.0, owner="other")
+        assert other.acquire(scenario.scenario_id)
+
+        def finish_externally():
+            time.sleep(0.2)
+            from repro.sweeps.scenario import run_scenario
+
+            result = run_scenario(scenario)
+            store.put(scenario.scenario_id, result["record"], result["arrays"])
+            other.release(scenario.scenario_id)
+
+        thread = threading.Thread(target=finish_externally)
+        thread.start()
+        report = run_scheduled_sweep(spec, store, options=FAST_OPTS)
+        thread.join()
+        assert report.cached_ids == [scenario.scenario_id]
+        assert report.executed_ids == []
+        # The waiting scheduler never attempted it.
+        assert FailureLog(store.root).history(scenario.scenario_id) == []
+
+    def test_concurrent_schedulers_execute_each_digest_once(self, tmp_path):
+        spec = spec_of((0.4, 0.8, 1.2, 1.6))
+        store = SweepStore(str(tmp_path / "store"))
+        reports = [None, None]
+
+        def go(i):
+            reports[i] = run_scheduled_sweep(
+                spec, store, options=FAST_OPTS, n_workers=2
+            )
+
+        threads = [
+            threading.Thread(target=go, args=(i,)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        log = FailureLog(store.root)
+        for scenario in expand_scenarios(spec):
+            assert len(log.history(scenario.scenario_id)) == 1
+        executed = reports[0].executed_ids + reports[1].executed_ids
+        assert sorted(executed) == sorted(reports[0].scenario_ids)
+
+        clean = SweepStore(str(tmp_path / "clean"))
+        run_sweep(spec, clean, n_workers=1)
+        assert store_digests(store.root) == store_digests(clean.root)
+
+
+class TestChaosInvariant:
+    def test_mixed_fault_soup_converges(self, tmp_path, monkeypatch):
+        """The acceptance scenario: seeded exceptions, a SIGKILL'd
+        worker and an expired lease together still yield a store
+        byte-identical to a clean 1-worker run."""
+        spec = spec_of((0.5, 1.0, 1.5))
+        clean = SweepStore(str(tmp_path / "clean"))
+        run_sweep(spec, clean, n_workers=1)
+
+        scenarios = expand_scenarios(spec)
+        set_env_plan(
+            monkeypatch,
+            FaultRule(
+                site="scenario.pre",
+                kind="sigkill",
+                key=scenarios[0].scenario_id,
+                max_attempt=1,
+            ),
+            FaultRule(site="scenario.post", probability=0.5, max_attempt=1),
+            FaultRule(site="store.put_record", probability=0.5, max_attempt=2),
+            seed=13,
+        )
+        store = SweepStore(str(tmp_path / "store"))
+        # One scenario already carries an expired foreign lease.
+        dead = LeaseManager(store.root, ttl=0.05, owner="dead-worker")
+        assert dead.acquire(scenarios[1].scenario_id)
+        time.sleep(0.1)
+
+        options = SchedulerOptions(
+            lease_ttl=10.0,
+            poll_interval=0.01,
+            retry=RetryPolicy(max_attempts=5, backoff_base=0.0),
+        )
+        report = run_scheduled_sweep(spec, store, options=options, n_workers=2)
+        assert report.failed_ids == []
+        assert sorted(report.executed_ids) == sorted(report.scenario_ids)
+        assert store_digests(store.root) == store_digests(clean.root)

@@ -52,9 +52,14 @@ def quick_spec(name="quick", sigmas=(0.5, 1.0), attacks=("none",), seed=5):
 
 
 def store_digests(root):
+    # Byte-identity is defined over the top-level result files only:
+    # operational metadata (.leases/, .attempts/, failed/) is excluded.
     digests = {}
     for entry in sorted(os.listdir(root)):
-        with open(os.path.join(root, entry), "rb") as handle:
+        path = os.path.join(root, entry)
+        if entry.startswith(".") or not os.path.isfile(path):
+            continue
+        with open(path, "rb") as handle:
             digests[entry] = hashlib.sha256(handle.read()).hexdigest()
     return digests
 
@@ -266,20 +271,35 @@ class TestRunSweep:
         report = run_sweep(extended, store, n_workers=1)
         assert report.n_cached == 2 and report.n_executed == 2
 
-    def test_failure_keeps_completed_scenarios(self, tmp_path):
+    def test_failure_quarantines_and_continues(self, tmp_path):
         # n1 = 2 < k = 4 violates expression (1) at campaign time, so
-        # the last scenario dies; the first two must survive on disk.
+        # that scenario can never succeed; it must be quarantined while
+        # every sibling completes and the sweep returns normally.
+        from repro.sweeps import FailureLog, RetryPolicy
+
         spec = SweepSpec(
             name="fail",
-            grid=(GridAxis("parameters.n1", (32, 48, 2)),),
+            grid=(GridAxis("parameters.n1", (32, 2, 48)),),
             base={k: v for k, v in QUICK.items() if k != "parameters.n1"},
         )
         store = SweepStore(str(tmp_path / "store"))
-        with pytest.raises(Exception):
-            run_sweep(spec, store, n_workers=1)
+        report = run_sweep(
+            spec,
+            store,
+            n_workers=1,
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+        )
+        bad = expand_scenarios(spec)[1].scenario_id
+        assert report.failed_ids == [bad]
         assert len(store) == 2
-        resumed_ids = {s.scenario_id for s in expand_scenarios(spec)[:2]}
-        assert set(store.ids()) == resumed_ids
+        good_ids = {
+            s.scenario_id for s in expand_scenarios(spec)
+            if s.scenario_id != bad
+        }
+        assert set(store.ids()) == good_ids
+        quarantine = FailureLog(store.root).load_quarantine(bad)
+        assert quarantine["attempts"] == 2
+        assert quarantine["error"]["type"]
 
     def test_progress_callback(self, tmp_path):
         spec = quick_spec()
