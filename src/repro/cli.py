@@ -188,6 +188,36 @@ DEFAULT_SWEEP_BASE: "Dict[str, object]" = {
 }
 
 
+def default_sweep_spec(
+    seed: int = 42,
+    engine: str = "auto",
+    name: str = "sweep",
+    design: str = "paper",
+):
+    """The CLI's default 24-scenario sweep surface as a spec object.
+
+    Digest-identical to ``repro-watermark sweep`` run with no axis or
+    base flags — the CLI's default path, the service smoke tests and
+    CI all build the same scenarios from here.
+    """
+    from repro.sweeps import GridAxis, SweepSpec
+
+    base: "Dict[str, object]" = dict(DEFAULT_SWEEP_BASE)
+    base["engine"] = engine
+    if design != "paper":
+        # Non-default only, so the default grid keeps its digests.
+        base["design"] = design
+    return SweepSpec(
+        name=name,
+        grid=tuple(
+            GridAxis(field, tuple(values))
+            for field, values in DEFAULT_SWEEP_AXES.items()
+        ),
+        base=base,
+        seed=seed,
+    )
+
+
 def _parse_axis_value(text: str) -> object:
     try:
         return json.loads(text)
@@ -245,11 +275,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         RandomAxis,
         RetryPolicy,
         SchedulerOptions,
+        SweepOptions,
         SweepSpec,
         SweepStore,
         expand_scenarios,
+        render_status,
         render_sweep_summary,
-        run_sweep,
+        run,
+        sweep_status,
     )
     from repro.sweeps.executor import default_workers
 
@@ -275,19 +308,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.base:
         base.update(dict(args.base))
     try:
-        spec = SweepSpec(
-            name=args.name,
-            grid=tuple(
-                GridAxis(field, tuple(values)) for field, values in axes.items()
-            ),
-            random=tuple(
-                RandomAxis(field, low, high, log=log, integer=integer)
-                for field, low, high, log, integer in (args.random or ())
-            ),
-            n_random=args.samples if args.random else 0,
-            base=base,
-            seed=args.seed,
-        )
+        if not args.axis and not args.random and not args.base and args.quick:
+            # The default surface comes from the shared helper so the
+            # CLI, the service smoke tests and CI agree on digests.
+            spec = default_sweep_spec(
+                seed=args.seed,
+                engine=args.engine,
+                name=args.name,
+                design=args.design,
+            )
+        else:
+            spec = SweepSpec(
+                name=args.name,
+                grid=tuple(
+                    GridAxis(field, tuple(values))
+                    for field, values in axes.items()
+                ),
+                random=tuple(
+                    RandomAxis(field, low, high, log=log, integer=integer)
+                    for field, low, high, log, integer in (args.random or ())
+                ),
+                n_random=args.samples if args.random else 0,
+                base=base,
+                seed=args.seed,
+            )
     except (KeyError, ValueError, TypeError) as error:
         message = error.args[0] if error.args else error
         raise SystemExit(f"error: invalid sweep: {message}")
@@ -353,18 +397,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         + (", batch pool" if pool is not None else ", no batch pool")
         + (", lease scheduler" if scheduler is not None else "")
     )
-    report = run_sweep(
+    report = run(
         spec,
         store,
-        n_workers=workers,
-        artifacts=artifacts,
-        pool=pool,
-        retry=retry,
-        scheduler=scheduler,
+        SweepOptions(
+            n_workers=workers,
+            artifacts=artifacts,
+            pool=pool,
+            retry=retry,
+            scheduler=scheduler,
+        ),
     )
     print(
         f"executed {report.n_executed}, "
         f"reused {report.n_cached} already in store"
+    )
+    print(
+        render_status(
+            sweep_status(store.root, scenario_ids=report.scenario_ids)
+        )
     )
     if report.n_retried:
         print(
@@ -393,6 +444,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"{error.get('message', 'no detail recorded')}"
             )
         return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
+    from repro.service import SweepService
+    from repro.sweeps import RetryPolicy, SchedulerOptions, SweepOptions
+    from repro.sweeps.executor import default_workers
+
+    if args.max_retries < 0:
+        raise SystemExit("error: --max-retries must be >= 0")
+    scheduler_kwargs: Dict[str, object] = {
+        "retry": RetryPolicy(max_attempts=args.max_retries + 1)
+    }
+    if args.lease_ttl is not None:
+        scheduler_kwargs["lease_ttl"] = args.lease_ttl
+    if args.scenario_timeout is not None:
+        scheduler_kwargs["scenario_timeout"] = args.scenario_timeout
+    if args.status_interval is not None:
+        scheduler_kwargs["status_interval"] = args.status_interval
+    try:
+        scheduler = SchedulerOptions(**scheduler_kwargs)
+    except ValueError as error:
+        raise SystemExit(f"error: invalid scheduler options: {error}")
+    workers = args.workers if args.workers else default_workers()
+    options = SweepOptions(n_workers=workers, scheduler=scheduler)
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s: %(message)s"
+    )
+    service = SweepService(args.store, options)
+    service.run_forever(args.host, args.port)
     return 0
 
 
@@ -566,6 +649,55 @@ def build_parser() -> argparse.ArgumentParser:
         "(default is the reduced fast parameter point)",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="HTTP sweep service: submit/poll/stream jobs over a "
+        "shared store root (several instances may share one root)",
+    )
+    serve.add_argument(
+        "--store",
+        default="sweep_store",
+        help="result-store directory served by this instance",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8734, help="bind port")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="default worker processes per job (0 = half the cores); "
+        "submissions may override via options.n_workers",
+    )
+    serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="default re-attempts per scenario after its first failure",
+    )
+    serve.add_argument(
+        "--scenario-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-attempt timeout for submitted jobs",
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="lease time-to-live (jobs are always lease-scheduled, so "
+        "several service instances may share the store root)",
+    )
+    serve.add_argument(
+        "--status-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="log a sweep-status line every N seconds while jobs run",
+    )
+
     return parser
 
 
@@ -580,6 +712,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "collisions": _cmd_collisions,
         "keysearch": _cmd_keysearch,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

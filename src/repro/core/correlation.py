@@ -32,7 +32,10 @@ def pearson(x: np.ndarray, y: np.ndarray) -> float:
         raise ValueError("traces must have at least two samples")
     xc = x - x.mean()
     yc = y - y.mean()
-    denominator = np.sqrt(np.sum(xc * xc) * np.sum(yc * yc))
+    # sqrt(sx) * sqrt(sy), not sqrt(sx * sy): the product of two tiny
+    # sums underflows to subnormal range and loses the result's
+    # precision long before either factor does.
+    denominator = np.sqrt(np.sum(xc * xc)) * np.sqrt(np.sum(yc * yc))
     if denominator == 0:
         raise DegenerateTraceError("a trace has zero variance")
     value = float(np.sum(xc * yc) / denominator)
@@ -69,9 +72,9 @@ def pearson_rows(x: np.ndarray, y: np.ndarray) -> np.ndarray:
     """Pearson of matched rows: ``[pearson(x[i], y[i]) for i]``.
 
     Vectorised pairwise-row correlation between two ``(m, l)``
-    matrices; the denominator is computed as ``sqrt(sum_x * sum_y)``
-    exactly like :func:`pearson`, so each entry is bit-identical to
-    the scalar call.
+    matrices; the denominator is computed as ``sqrt(sum_x) *
+    sqrt(sum_y)`` exactly like :func:`pearson`, so each entry is
+    bit-identical to the scalar call.
     """
     x = np.asarray(x, dtype=float)
     y = np.asarray(y, dtype=float)
@@ -83,8 +86,7 @@ def pearson_rows(x: np.ndarray, y: np.ndarray) -> np.ndarray:
     y_centered = y - y.mean(axis=1, keepdims=True)
     denominator = np.sqrt(
         np.sum(x_centered * x_centered, axis=1)
-        * np.sum(y_centered * y_centered, axis=1)
-    )
+    ) * np.sqrt(np.sum(y_centered * y_centered, axis=1))
     if np.any(denominator == 0):
         raise DegenerateTraceError("a trace has zero variance")
     values = np.sum(x_centered * y_centered, axis=1) / denominator

@@ -1,0 +1,47 @@
+"""Sweep-as-a-service: an async HTTP job layer over the lease scheduler.
+
+``repro-watermark serve --store runs/sweep`` turns a store root into a
+JSON API: submit serialized :class:`~repro.sweeps.spec.SweepSpec`
+payloads to ``POST /sweeps``, poll progress on ``GET /sweeps/{id}``,
+stream tidy result rows from ``GET /sweeps/{id}/rows`` as they land.
+Jobs execute through the lease scheduler, so several instances may
+share one store root — every scenario digest runs exactly once across
+the fleet, and resubmitting an already-swept spec completes from
+cache.  Built on the stdlib only (:mod:`asyncio` + hand-rolled
+HTTP/1.1 in :mod:`repro.service.httpd`); no new dependencies.
+"""
+
+from repro.service.app import (
+    ROWS_POLL_INTERVAL,
+    ServiceHandle,
+    SweepService,
+    start_service,
+)
+from repro.service.httpd import HTTPError, HTTPServer, Request, Router
+from repro.service.jobs import (
+    JOB_DONE,
+    JOB_ERROR,
+    JOB_QUARANTINED,
+    JOB_RUNNING,
+    JobManager,
+    SweepJob,
+    job_id_for,
+)
+
+__all__ = [
+    "HTTPError",
+    "HTTPServer",
+    "JOB_DONE",
+    "JOB_ERROR",
+    "JOB_QUARANTINED",
+    "JOB_RUNNING",
+    "JobManager",
+    "ROWS_POLL_INTERVAL",
+    "Request",
+    "Router",
+    "ServiceHandle",
+    "SweepJob",
+    "SweepService",
+    "job_id_for",
+    "start_service",
+]

@@ -1,21 +1,44 @@
-"""Scenario-sweep orchestration: declarative sweeps, multiprocess
-execution, resumable content-addressed results, tidy aggregation.
+"""Scenario sweeps as a service-grade subsystem: declare, run, poll,
+aggregate.
 
 The paper's evaluation is one operating point; this subsystem turns it
-into surfaces.  Describe the axes once (:class:`SweepSpec`), execute
-with any number of workers (:func:`run_sweep` — results are
-bit-identical regardless), interrupt and resume freely (the
-:class:`SweepStore` is content-addressed, so only missing scenarios
-ever execute), then read tidy accuracy/ROC tables back
-(:mod:`repro.sweeps.aggregate`).
+into surfaces — and into *jobs*.  The public surface is deliberately
+small:
 
-Execution is fault-tolerant: failures retry with backoff
-(:class:`RetryPolicy`), exhausted scenarios are quarantined while the
-sweep continues, and :func:`run_scheduled_sweep` (or
-``run_sweep(scheduler=...)``) adds lease-based scheduling — many
-scheduler instances share one store root, worker death is absorbed by
-stale-lease reclamation, and every recovery path is exercised under
-the deterministic fault-injection harness
+* :class:`SweepSpec` declares the surface (grid + random axes over
+  campaign-config paths, an ``attack`` axis, derived per-scenario
+  seeds).  Its JSON wire format — :meth:`SweepSpec.to_json_dict` /
+  :meth:`SweepSpec.from_json_dict`, stamped with a ``schema_version``
+  and validated with errors that name the offending path
+  (:class:`SpecValidationError`) — is what the HTTP sweep service
+  (:mod:`repro.service`), saved spec files and any other embedder
+  speak.
+
+* :func:`run` is **the one entry point for executing a sweep**:
+  ``run(spec, store, SweepOptions(...))``.  :class:`SweepOptions`
+  carries every knob — worker count, artifact sharing, the
+  cross-campaign batch pool, retry policy, and (by setting
+  ``scheduler=SchedulerOptions(...)``) lease-based fault-tolerant
+  scheduling in which attempts run in isolated child processes with
+  timeouts and any number of instances safely share one store root.
+  Whatever the options, the resulting :class:`SweepStore` is
+  byte-identical to a clean single-worker run.  The historical entry
+  points ``run_sweep`` and ``run_scheduled_sweep`` remain as thin
+  deprecated aliases of this facade.
+
+* :func:`sweep_status` snapshots a store root's execution state
+  (completed / pending / leased / quarantined / attempt counts) —
+  the same :class:`SweepStatus` backs the service's poll endpoint,
+  the CLI summary and the scheduler's log lines.
+
+* :mod:`repro.sweeps.aggregate` reads tidy accuracy / ROC tables back
+  out of the store.
+
+Execution is resumable (the store is content-addressed; only missing
+scenario digests run) and fault-tolerant: failures retry with backoff
+(:class:`RetryPolicy`), exhausted scenarios are quarantined under
+``failed/`` while the sweep continues, and every recovery path is
+exercised under the deterministic fault-injection harness
 (:mod:`repro.sweeps.faultinject`).
 """
 
@@ -25,6 +48,10 @@ from repro.sweeps.aggregate import (
     render_sweep_summary,
     roc_by_axis,
     tidy_accuracy,
+)
+from repro.sweeps.api import (
+    SweepOptions,
+    run,
 )
 from repro.sweeps.executor import (
     SweepReport,
@@ -60,14 +87,21 @@ from repro.sweeps.spec import (
     ANALYSIS_FIELDS,
     ATTACK_FIELD,
     CONFIG_FIELDS,
+    SCHEMA_VERSION,
     GridAxis,
     RandomAxis,
     Scenario,
+    SpecValidationError,
     SweepSpec,
     expand_scenarios,
     scenario_config,
     spec_from_dict,
     spec_to_dict,
+)
+from repro.sweeps.status import (
+    SweepStatus,
+    render_status,
+    sweep_status,
 )
 from repro.sweeps.store import SweepStore
 
@@ -76,6 +110,7 @@ __all__ = [
     "ATTACKS",
     "ATTACK_FIELD",
     "CONFIG_FIELDS",
+    "SCHEMA_VERSION",
     "FailureLog",
     "FaultPlan",
     "FaultRule",
@@ -86,8 +121,11 @@ __all__ = [
     "RetryPolicy",
     "Scenario",
     "SchedulerOptions",
+    "SpecValidationError",
+    "SweepOptions",
     "SweepSpec",
     "SweepReport",
+    "SweepStatus",
     "SweepStore",
     "accuracy_pivot",
     "active_fault_plan",
@@ -101,8 +139,10 @@ __all__ = [
     "matching_scores",
     "outcome_arrays",
     "outcome_metrics",
+    "render_status",
     "render_sweep_summary",
     "roc_by_axis",
+    "run",
     "run_scenario",
     "run_scenario_campaign",
     "run_scheduled_sweep",
@@ -110,5 +150,6 @@ __all__ = [
     "scenario_config",
     "spec_from_dict",
     "spec_to_dict",
+    "sweep_status",
     "tidy_accuracy",
 ]

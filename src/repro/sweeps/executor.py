@@ -1,17 +1,16 @@
 """Multiprocess sweep execution with incremental resume and graceful
 degradation.
 
-:func:`run_sweep` expands a :class:`~repro.sweeps.spec.SweepSpec`,
-skips every scenario already present in the
-:class:`~repro.sweeps.store.SweepStore`, and executes the missing ones
-— inline for ``n_workers <= 1``, otherwise on a ``multiprocessing``
-pool in chunked work units.  Passing ``scheduler=``
-:class:`~repro.sweeps.scheduler.SchedulerOptions` instead routes
-execution through the lease-based fault-tolerant scheduler
-(:func:`~repro.sweeps.scheduler.run_scheduled_sweep`): attempts run in
-isolated child processes with wall-clock timeouts, leases keep
-concurrent scheduler instances off each other's work, and stale-lease
-reclamation survives worker death.
+This is the *in-process* execution strategy behind the unified
+:func:`repro.sweeps.run` facade (selected when
+:attr:`~repro.sweeps.api.SweepOptions.scheduler` is unset): it expands
+a :class:`~repro.sweeps.spec.SweepSpec`, skips every scenario already
+present in the :class:`~repro.sweeps.store.SweepStore`, and executes
+the missing ones — inline for ``n_workers <= 1``, otherwise on a
+``multiprocessing`` pool in chunked work units.  The lease-based
+strategy lives in :mod:`repro.sweeps.scheduler`; the historical
+:func:`run_sweep` entry point survives as a deprecated alias of the
+facade.
 
 Determinism: a scenario's result is a pure function of its override
 mapping (all seeds are inside it, derived from the spec), and every
@@ -75,10 +74,10 @@ cheap.
 
 from __future__ import annotations
 
-import dataclasses
 import multiprocessing
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -98,7 +97,6 @@ from repro.sweeps.scheduler import (
     SchedulerOptions,
     default_owner,
     error_info,
-    run_scheduled_sweep,
 )
 from repro.sweeps.spec import (
     Scenario,
@@ -369,7 +367,7 @@ def default_workers() -> int:
     return max(1, (os.cpu_count() or 2) // 2)
 
 
-def run_sweep(
+def _plain_sweep(
     spec: SweepSpec,
     store: SweepStore,
     n_workers: int = 1,
@@ -377,9 +375,8 @@ def run_sweep(
     artifacts: Optional[ArtifactOptions] = None,
     pool: Optional[BatchPoolOptions] = None,
     retry: Optional[RetryPolicy] = None,
-    scheduler: Optional[SchedulerOptions] = None,
 ) -> SweepReport:
-    """Execute every missing scenario of ``spec`` into ``store``.
+    """The in-process execution strategy behind :func:`repro.sweeps.run`.
 
     ``progress`` (if given) is called as ``progress(scenario_id,
     executed)`` once per scenario — immediately for cache hits, on
@@ -391,27 +388,12 @@ def run_sweep(
 
     ``retry`` bounds per-scenario attempts and backoff (default: the
     stock :class:`~repro.sweeps.scheduler.RetryPolicy`); a scenario
-    that exhausts it is quarantined and the sweep continues.
-    ``scheduler`` switches to lease-based scheduling
-    (:func:`~repro.sweeps.scheduler.run_scheduled_sweep`): isolated
-    attempt processes, scenario timeouts, and safe concurrency of many
-    scheduler instances on one store root (the batch ``pool`` does not
-    apply there).  Returns a :class:`SweepReport`; aggregate results
-    are read back from the store (see :mod:`repro.sweeps.aggregate`).
+    that exhausts it is quarantined and the sweep continues.  Returns
+    a :class:`SweepReport`; aggregate results are read back from the
+    store (see :mod:`repro.sweeps.aggregate`).
     """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
-    if scheduler is not None:
-        if retry is not None:
-            scheduler = dataclasses.replace(scheduler, retry=retry)
-        return run_scheduled_sweep(
-            spec,
-            store,
-            options=scheduler,
-            n_workers=n_workers,
-            progress=progress,
-            artifacts=artifacts,
-        )
     scenarios = expand_scenarios(spec)
     report = SweepReport(
         spec_name=spec.name,
@@ -464,6 +446,46 @@ def run_sweep(
     report.failed_ids.sort()
     report.retried_ids.sort()
     return report
+
+
+def run_sweep(
+    spec: SweepSpec,
+    store: SweepStore,
+    n_workers: int = 1,
+    progress: Optional[Callable[[str, bool], None]] = None,
+    artifacts: Optional[ArtifactOptions] = None,
+    pool: Optional[BatchPoolOptions] = None,
+    retry: Optional[RetryPolicy] = None,
+    scheduler: Optional[SchedulerOptions] = None,
+) -> SweepReport:
+    """Deprecated alias of :func:`repro.sweeps.run`.
+
+    Behaviour is unchanged (byte-identical stores, pinned by test):
+    the keyword set maps one-to-one onto
+    :class:`~repro.sweeps.api.SweepOptions` and the call routes
+    through the unified facade.  New code should call
+    ``repro.sweeps.run(spec, store, SweepOptions(...))``.
+    """
+    warnings.warn(
+        "run_sweep() is deprecated; use repro.sweeps.run(spec, store, "
+        "SweepOptions(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.sweeps.api import SweepOptions, run
+
+    return run(
+        spec,
+        store,
+        SweepOptions(
+            n_workers=n_workers,
+            artifacts=artifacts,
+            pool=pool,
+            retry=retry,
+            scheduler=scheduler,
+        ),
+        progress=progress,
+    )
 
 
 __all__ = [

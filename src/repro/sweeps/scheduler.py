@@ -50,6 +50,7 @@ only ever published through the store's atomic, deterministic writes.
 from __future__ import annotations
 
 import json
+import logging
 import multiprocessing
 import os
 import socket
@@ -67,6 +68,8 @@ from repro.sweeps.store import SweepStore
 LEASE_DIR = ".leases"
 ATTEMPT_DIR = ".attempts"
 FAILED_DIR = "failed"
+
+_logger = logging.getLogger(__name__)
 
 
 def default_owner() -> str:
@@ -120,6 +123,10 @@ class SchedulerOptions:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     #: Owner id (default: a fresh ``host:pid:uuid`` per run).
     owner: Optional[str] = None
+    #: Seconds between periodic progress log lines (INFO on this
+    #: module's logger, rendered by the shared
+    #: :func:`repro.sweeps.status.render_status` snapshot; None = off).
+    status_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.lease_ttl <= 0:
@@ -128,6 +135,8 @@ class SchedulerOptions:
             raise ValueError("heartbeat_interval must be > 0")
         if self.scenario_timeout is not None and self.scenario_timeout <= 0:
             raise ValueError("scenario_timeout must be > 0")
+        if self.status_interval is not None and self.status_interval <= 0:
+            raise ValueError("status_interval must be > 0")
 
     @property
     def effective_heartbeat(self) -> float:
@@ -414,7 +423,7 @@ class _Running:
     next_heartbeat: float
 
 
-def run_scheduled_sweep(
+def _scheduled_sweep(
     spec: SweepSpec,
     store: SweepStore,
     options: Optional[SchedulerOptions] = None,
@@ -423,6 +432,12 @@ def run_scheduled_sweep(
     artifacts=None,
 ):
     """Execute every missing scenario of ``spec`` under lease scheduling.
+
+    This is the lease-based execution strategy behind the unified
+    :func:`repro.sweeps.run` facade (selected by
+    :attr:`~repro.sweeps.api.SweepOptions.scheduler`); the historical
+    :func:`run_scheduled_sweep` entry point survives as a deprecated
+    alias.
 
     Safe to run concurrently with other ``run_scheduled_sweep`` calls
     (other processes, other machines over a shared filesystem) on the
@@ -475,6 +490,22 @@ def run_scheduled_sweep(
     failures_this_run: Dict[str, int] = {}
     next_due: Dict[str, float] = {}
     retried: set = set()
+    next_status = (
+        time.monotonic() + options.status_interval
+        if options.status_interval is not None
+        else None
+    )
+
+    def log_status() -> None:
+        # Lazy import: repro.sweeps.status builds on this module.
+        from repro.sweeps.status import render_status, sweep_status
+
+        snapshot = sweep_status(
+            store.root,
+            scenario_ids=report.scenario_ids,
+            lease_ttl=options.lease_ttl,
+        )
+        _logger.info("sweep %r [%s]: %s", spec.name, owner, render_status(snapshot))
 
     def read_error(run: _Running) -> Dict[str, object]:
         try:
@@ -591,14 +622,58 @@ def run_scheduled_sweep(
             )
             progressed = True
 
+        if next_status is not None and time.monotonic() >= next_status:
+            log_status()
+            next_status = time.monotonic() + options.status_interval
+
         if pending and not progressed:
             time.sleep(options.poll_interval)
 
+    if next_status is not None:
+        log_status()
     report.executed_ids.sort()
     report.cached_ids.sort()
     report.failed_ids.sort()
     report.retried_ids.extend(sorted(retried))
     return report
+
+
+def run_scheduled_sweep(
+    spec: SweepSpec,
+    store: SweepStore,
+    options: Optional[SchedulerOptions] = None,
+    n_workers: int = 1,
+    progress: Optional[Callable[[str, bool], None]] = None,
+    artifacts=None,
+):
+    """Deprecated alias of :func:`repro.sweeps.run` with lease scheduling.
+
+    Behaviour is unchanged (byte-identical stores, pinned by test):
+    the call routes through the unified facade with
+    ``SweepOptions(scheduler=options or SchedulerOptions())``.  New
+    code should call ``repro.sweeps.run(spec, store,
+    SweepOptions(scheduler=SchedulerOptions(...), ...))``.
+    """
+    import warnings
+
+    warnings.warn(
+        "run_scheduled_sweep() is deprecated; use repro.sweeps.run(spec, "
+        "store, SweepOptions(scheduler=SchedulerOptions(...))) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.sweeps.api import SweepOptions, run
+
+    return run(
+        spec,
+        store,
+        SweepOptions(
+            n_workers=n_workers,
+            artifacts=artifacts,
+            scheduler=options or SchedulerOptions(),
+        ),
+        progress=progress,
+    )
 
 
 __all__ = [

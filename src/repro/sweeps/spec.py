@@ -116,6 +116,22 @@ def canonical_json(value: object) -> str:
     return json.dumps(value, sort_keys=True, separators=(",", ":"))
 
 
+class SpecValidationError(ValueError):
+    """A sweep-spec JSON payload failed validation.
+
+    ``path`` names the offending location inside the payload
+    (``"grid[1].values"``, ``"base.noise.sigma"``, ``"schema_version"``,
+    or ``"$"`` for the payload root), so wire-format errors — the
+    sweep service returns them verbatim as HTTP 400 detail — point at
+    the field to fix instead of at a Python traceback.
+    """
+
+    def __init__(self, path: str, message: str):
+        self.path = path
+        self.detail = message
+        super().__init__(f"{path}: {message}")
+
+
 def _check_field(name: str) -> None:
     if name not in CONFIG_FIELDS:
         raise KeyError(
@@ -228,6 +244,177 @@ class SweepSpec:
             total *= self.n_random
         return total
 
+    # -- JSON wire format ------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """The spec's JSON wire format (see :meth:`from_json_dict`).
+
+        Carries an explicit ``schema_version`` so embedders (the sweep
+        service, saved spec files) can detect incompatible encodings
+        the moment the scenario digest scheme is ever bumped, instead
+        of silently re-deriving different digests.
+        """
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "name": self.name,
+            "grid": [
+                {"field": axis.field, "values": list(axis.values)}
+                for axis in self.grid
+            ],
+            "random": [
+                {
+                    "field": axis.field,
+                    "low": axis.low,
+                    "high": axis.high,
+                    "log": axis.log,
+                    "integer": axis.integer,
+                }
+                for axis in self.random
+            ],
+            "n_random": self.n_random,
+            "base": dict(self.base),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: object) -> "SweepSpec":
+        """Rebuild a spec from :meth:`to_json_dict` output.
+
+        The round trip is lossless: the rebuilt spec expands to the
+        same scenarios with the same content digests.  Malformed
+        payloads raise :class:`SpecValidationError` naming the
+        offending path; a missing or unsupported ``schema_version``
+        is rejected the same way (this is the compatibility hook a
+        future digest-affecting schema bump keys on).
+        """
+        if not isinstance(payload, Mapping):
+            raise SpecValidationError("$", "expected a JSON object")
+        known = {
+            "schema_version",
+            "name",
+            "grid",
+            "random",
+            "n_random",
+            "base",
+            "seed",
+        }
+        for key in payload:
+            if key not in known:
+                raise SpecValidationError(str(key), "unknown field")
+        if "schema_version" not in payload:
+            raise SpecValidationError("schema_version", "required field")
+        version = payload["schema_version"]
+        if version != SCHEMA_VERSION:
+            raise SpecValidationError(
+                "schema_version",
+                f"unsupported value {version!r} "
+                f"(this build speaks version {SCHEMA_VERSION})",
+            )
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise SpecValidationError("name", "expected a non-empty string")
+        grid = tuple(
+            _grid_axis_from_json(entry, f"grid[{i}]")
+            for i, entry in enumerate(_json_list(payload, "grid"))
+        )
+        random_axes = tuple(
+            _random_axis_from_json(entry, f"random[{i}]")
+            for i, entry in enumerate(_json_list(payload, "random"))
+        )
+        n_random = payload.get("n_random", 0)
+        if not isinstance(n_random, int) or isinstance(n_random, bool):
+            raise SpecValidationError("n_random", "expected an integer")
+        base = payload.get("base", {})
+        if not isinstance(base, Mapping):
+            raise SpecValidationError("base", "expected an object")
+        for key, value in base.items():
+            if key not in CONFIG_FIELDS:
+                raise SpecValidationError(
+                    f"base.{key}", "unknown campaign-config field"
+                )
+            try:
+                _check_value(key, value)
+            except TypeError:
+                raise SpecValidationError(
+                    f"base.{key}", f"value {value!r} is not a JSON scalar"
+                ) from None
+        seed = payload.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise SpecValidationError("seed", "expected an integer")
+        try:
+            return cls(
+                name=name,
+                grid=grid,
+                random=random_axes,
+                n_random=n_random,
+                base=dict(base),
+                seed=seed,
+            )
+        except (KeyError, ValueError, TypeError) as error:
+            message = error.args[0] if error.args else str(error)
+            raise SpecValidationError("$", str(message)) from error
+
+
+def _json_list(payload: Mapping[str, object], key: str) -> List[object]:
+    value = payload.get(key, [])
+    if not isinstance(value, (list, tuple)):
+        raise SpecValidationError(key, "expected a list")
+    return list(value)
+
+
+def _axis_payload(entry: object, path: str, fields: "set[str]") -> Mapping:
+    if not isinstance(entry, Mapping):
+        raise SpecValidationError(path, "expected an object")
+    for key in entry:
+        if key not in fields:
+            raise SpecValidationError(f"{path}.{key}", "unknown field")
+    field_name = entry.get("field")
+    if not isinstance(field_name, str) or not field_name:
+        raise SpecValidationError(f"{path}.field", "expected a field name")
+    if field_name not in CONFIG_FIELDS:
+        raise SpecValidationError(
+            f"{path}.field", f"unknown campaign-config field {field_name!r}"
+        )
+    return entry
+
+
+def _grid_axis_from_json(entry: object, path: str) -> GridAxis:
+    entry = _axis_payload(entry, path, {"field", "values"})
+    values = entry.get("values")
+    if not isinstance(values, (list, tuple)):
+        raise SpecValidationError(f"{path}.values", "expected a list")
+    try:
+        return GridAxis(field=str(entry["field"]), values=tuple(values))
+    except (ValueError, TypeError) as error:
+        message = error.args[0] if error.args else str(error)
+        raise SpecValidationError(
+            f"{path}.values", str(message)
+        ) from error
+
+
+def _random_axis_from_json(entry: object, path: str) -> RandomAxis:
+    entry = _axis_payload(
+        entry, path, {"field", "low", "high", "log", "integer"}
+    )
+    for bound in ("low", "high"):
+        value = entry.get(bound)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise SpecValidationError(f"{path}.{bound}", "expected a number")
+    for flag in ("log", "integer"):
+        if flag in entry and not isinstance(entry[flag], bool):
+            raise SpecValidationError(f"{path}.{flag}", "expected a boolean")
+    try:
+        return RandomAxis(
+            field=str(entry["field"]),
+            low=float(entry["low"]),
+            high=float(entry["high"]),
+            log=bool(entry.get("log", False)),
+            integer=bool(entry.get("integer", False)),
+        )
+    except ValueError as error:
+        message = error.args[0] if error.args else str(error)
+        raise SpecValidationError(path, str(message)) from error
+
 
 @dataclass(frozen=True)
 class Scenario:
@@ -317,54 +504,16 @@ def scenario_config(scenario: Scenario) -> CampaignConfig:
 
 
 def spec_from_dict(payload: Mapping[str, object]) -> SweepSpec:
-    """Rebuild a spec from its JSON form (see :func:`spec_to_dict`)."""
-    grid = tuple(
-        GridAxis(field=a["field"], values=tuple(a["values"]))
-        for a in payload.get("grid", ())
-    )
-    random_axes = tuple(
-        RandomAxis(
-            field=a["field"],
-            low=float(a["low"]),
-            high=float(a["high"]),
-            log=bool(a.get("log", False)),
-            integer=bool(a.get("integer", False)),
-        )
-        for a in payload.get("random", ())
-    )
-    return SweepSpec(
-        name=str(payload["name"]),
-        grid=grid,
-        random=random_axes,
-        n_random=int(payload.get("n_random", 0)),
-        base=dict(payload.get("base", {})),
-        seed=int(payload.get("seed", 0)),
-    )
+    """Alias of :meth:`SweepSpec.from_json_dict` tolerating payloads
+    written before ``schema_version`` existed (they are version 1)."""
+    if isinstance(payload, Mapping) and "schema_version" not in payload:
+        payload = {**dict(payload), "schema_version": SCHEMA_VERSION}
+    return SweepSpec.from_json_dict(payload)
 
 
 def spec_to_dict(spec: SweepSpec) -> Dict[str, object]:
-    """JSON-serialisable form of a spec (round-trips via
-    :func:`spec_from_dict`)."""
-    return {
-        "name": spec.name,
-        "grid": [
-            {"field": axis.field, "values": list(axis.values)}
-            for axis in spec.grid
-        ],
-        "random": [
-            {
-                "field": axis.field,
-                "low": axis.low,
-                "high": axis.high,
-                "log": axis.log,
-                "integer": axis.integer,
-            }
-            for axis in spec.random
-        ],
-        "n_random": spec.n_random,
-        "base": dict(spec.base),
-        "seed": spec.seed,
-    }
+    """Alias of :meth:`SweepSpec.to_json_dict`."""
+    return spec.to_json_dict()
 
 
 __all__ = [
@@ -374,6 +523,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "GridAxis",
     "RandomAxis",
+    "SpecValidationError",
     "SweepSpec",
     "Scenario",
     "canonical_json",

@@ -11,15 +11,21 @@ import pytest
 from repro.experiments.runner import CampaignConfig, apply_config_overrides
 from repro.sweeps import (
     ATTACKS,
+    SCHEMA_VERSION,
     GridAxis,
     RandomAxis,
+    SpecValidationError,
+    SweepOptions,
     SweepSpec,
     SweepStore,
     expand_scenarios,
+    render_status,
+    run,
     run_sweep,
     scenario_config,
     spec_from_dict,
     spec_to_dict,
+    sweep_status,
 )
 from repro.sweeps.aggregate import (
     accuracy_pivot,
@@ -180,6 +186,79 @@ class TestSweepSpec:
         assert [s.scenario_id for s in expand_scenarios(clone)] == [
             s.scenario_id for s in expand_scenarios(spec)
         ]
+
+
+class TestSpecWireFormat:
+    """The versioned JSON wire format the sweep service speaks."""
+
+    def full_spec(self):
+        return SweepSpec(
+            name="wire",
+            grid=(
+                GridAxis("noise.sigma", (0.5, 1.5)),
+                GridAxis("attack", ("none", "strip")),
+            ),
+            random=(
+                RandomAxis("variation.component_sigma", 0.01, 0.1, log=True),
+                RandomAxis("parameters.n2", 64, 256, integer=True),
+            ),
+            n_random=3,
+            base={"watermarked": False, "parameters.k": 4},
+            seed=11,
+        )
+
+    def test_round_trip_is_lossless(self):
+        spec = self.full_spec()
+        payload = spec.to_json_dict()
+        assert payload["schema_version"] == SCHEMA_VERSION
+        wire = json.dumps(payload)  # must actually survive JSON text
+        clone = SweepSpec.from_json_dict(json.loads(wire))
+        assert clone == spec
+        assert [s.scenario_id for s in expand_scenarios(clone)] == [
+            s.scenario_id for s in expand_scenarios(spec)
+        ]
+
+    def test_defaults_omitted_fields_round_trip(self):
+        spec = SweepSpec(name="d", grid=(GridAxis("attack", ("none",)),))
+        assert SweepSpec.from_json_dict(spec.to_json_dict()) == spec
+
+    @pytest.mark.parametrize(
+        "mutate, path",
+        [
+            (lambda p: p.pop("schema_version"), "schema_version"),
+            (lambda p: p.update(schema_version=99), "schema_version"),
+            (lambda p: p.update(extra=1), "extra"),
+            (lambda p: p.update(name=7), "name"),
+            (lambda p: p.update(seed="x"), "seed"),
+            (lambda p: p.update(n_random=True), "n_random"),
+            (lambda p: p["grid"][0].update(field="bogus"), "grid[0].field"),
+            (lambda p: p["grid"][0].update(values="ha"), "grid[0].values"),
+            (lambda p: p["grid"][0].pop("field"), "grid[0].field"),
+            (lambda p: p["random"][0].update(low="x"), "random[0].low"),
+            (
+                lambda p: p["random"][0].update(unexpected=1),
+                "random[0].unexpected",
+            ),
+            (lambda p: p.update(base={"bogus": 1}), "base.bogus"),
+            (
+                lambda p: p.update(base={"noise.sigma": [1]}),
+                "base.noise.sigma",
+            ),
+            (lambda p: p.update(grid="no"), "grid"),
+        ],
+    )
+    def test_validation_errors_name_offending_path(self, mutate, path):
+        payload = self.full_spec().to_json_dict()
+        mutate(payload)
+        with pytest.raises(SpecValidationError) as excinfo:
+            SweepSpec.from_json_dict(payload)
+        assert excinfo.value.path == path
+        assert str(excinfo.value).startswith(path + ":")
+
+    def test_non_mapping_payload_rejected(self):
+        with pytest.raises(SpecValidationError) as excinfo:
+            SweepSpec.from_json_dict(["not", "a", "dict"])
+        assert excinfo.value.path == "$"
 
 
 class TestConfigOverrides:
@@ -445,3 +524,110 @@ class TestRocOrdering:
         run_sweep(spec, store, n_workers=1)
         rows = roc_by_axis(store, "parameters.n2", expand_scenarios(spec))
         assert [row["parameters.n2"] for row in rows] == [256, 512, 1024]
+
+
+class TestUnifiedFacade:
+    """``repro.sweeps.run`` and the deprecated aliases behind it."""
+
+    def test_facade_and_aliases_byte_identical(self, tmp_path):
+        from repro.sweeps import SchedulerOptions, run_scheduled_sweep
+
+        spec = quick_spec(name="facade", attacks=("none", "strip"))
+        facade = SweepStore(str(tmp_path / "facade"))
+        run(spec, facade, SweepOptions(n_workers=1))
+
+        alias = SweepStore(str(tmp_path / "alias"))
+        with pytest.deprecated_call():
+            run_sweep(spec, alias, n_workers=2)
+
+        scheduled = SweepStore(str(tmp_path / "scheduled"))
+        with pytest.deprecated_call():
+            run_scheduled_sweep(
+                spec,
+                scheduled,
+                options=SchedulerOptions(poll_interval=0.01),
+            )
+
+        reference = store_digests(facade.root)
+        assert store_digests(alias.root) == reference
+        assert store_digests(scheduled.root) == reference
+
+    def test_scheduler_option_routes_to_lease_scheduler(self, tmp_path):
+        from repro.sweeps import SchedulerOptions
+
+        spec = quick_spec(name="routed", sigmas=(0.5,))
+        store = SweepStore(str(tmp_path / "store"))
+        run(
+            spec,
+            store,
+            SweepOptions(scheduler=SchedulerOptions(poll_interval=0.01)),
+        )
+        # The lease scheduler (and only it) records attempt history.
+        assert os.path.isdir(os.path.join(store.root, ".attempts"))
+        assert len(store) == 1
+
+    def test_default_options_run(self, tmp_path):
+        spec = quick_spec(name="defaults", sigmas=(0.5,))
+        store = SweepStore(str(tmp_path / "store"))
+        report = run(spec, store)  # options default to SweepOptions()
+        assert report.n_executed == 1
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            SweepOptions(n_workers=0)
+
+
+class TestSweepStatus:
+    def test_counts_and_rendering(self, tmp_path):
+        spec = quick_spec(name="status", attacks=("none", "strip"))
+        scenario_ids = [s.scenario_id for s in expand_scenarios(spec)]
+        store = SweepStore(str(tmp_path / "store"))
+
+        empty = sweep_status(store.root, scenario_ids=scenario_ids)
+        assert empty.completed == 0 and empty.pending == len(scenario_ids)
+        assert not empty.done
+
+        run(spec, store)
+        status = sweep_status(store.root, scenario_ids=scenario_ids)
+        assert status.completed == len(scenario_ids)
+        assert status.pending == 0 and status.done
+        assert status.quarantined == 0 and status.leased == 0
+        text = render_status(status)
+        assert text.startswith(f"completed {len(scenario_ids)}/")
+        assert "pending 0" in text and "quarantined 0" in text
+        payload = json.loads(json.dumps(status.to_json_dict()))
+        assert payload["completed"] == len(scenario_ids)
+
+    def test_unscoped_status_covers_whole_store(self, tmp_path):
+        store = SweepStore(str(tmp_path / "store"))
+        run(quick_spec(name="all", sigmas=(0.5,)), store)
+        status = sweep_status(store.root)
+        assert status.completed == 1
+        assert status.total is None and status.pending is None
+
+    def test_snapshot_does_not_create_metadata_dirs(self, tmp_path):
+        store = SweepStore(str(tmp_path / "store"))
+        sweep_status(store.root)
+        assert not os.path.exists(os.path.join(store.root, ".leases"))
+        assert not os.path.exists(os.path.join(store.root, ".attempts"))
+
+    def test_quarantine_counted(self, tmp_path):
+        from repro.sweeps import RetryPolicy
+
+        spec = SweepSpec(
+            name="qstat",
+            grid=(GridAxis("parameters.n1", (32, 2)),),
+            base={k: v for k, v in QUICK.items() if k != "parameters.n1"},
+        )
+        scenario_ids = [s.scenario_id for s in expand_scenarios(spec)]
+        store = SweepStore(str(tmp_path / "store"))
+        run(
+            spec,
+            store,
+            SweepOptions(
+                retry=RetryPolicy(max_attempts=2, backoff_base=0.0)
+            ),
+        )
+        status = sweep_status(store.root, scenario_ids=scenario_ids)
+        assert status.completed == 1 and status.quarantined == 1
+        assert status.pending == 0 and status.done
